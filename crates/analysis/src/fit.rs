@@ -1,0 +1,74 @@
+//! Scaling-shape estimation.
+//!
+//! The reproduction does not try to match the paper's absolute constants —
+//! only the *shape* of the bounds (linear in `T∞` per steal, quadratic in
+//! `T∞` overall, linear in `t`, and so on). These helpers estimate
+//! power-law exponents from measured sweeps so the harness can print
+//! "measured exponent ≈ 1.0 (theorem predicts 1)" style rows.
+
+/// Least-squares slope of `ln(y)` against `ln(x)`: the exponent `p` in the
+/// best-fit `y ≈ c · x^p`. Pairs with non-positive coordinates are skipped.
+/// Returns 0 when fewer than two usable points remain.
+pub fn power_law_exponent(points: &[(f64, f64)]) -> f64 {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if usable.len() < 2 {
+        return 0.0;
+    }
+    let n = usable.len() as f64;
+    let sx: f64 = usable.iter().map(|(x, _)| x).sum();
+    let sy: f64 = usable.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = usable.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = usable.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+/// The geometric mean of `measured / reference` ratios — a single-number
+/// summary of how far a measured series sits from a bound (values < 1 mean
+/// the measurement stays below the bound).
+pub fn mean_ratio(pairs: &[(f64, f64)]) -> f64 {
+    let usable: Vec<f64> = pairs
+        .iter()
+        .filter(|(m, r)| *m > 0.0 && *r > 0.0)
+        .map(|(m, r)| (m / r).ln())
+        .collect();
+    if usable.is_empty() {
+        return 0.0;
+    }
+    (usable.iter().sum::<f64>() / usable.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_known_exponents() {
+        let quadratic: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
+        assert!((power_law_exponent(&quadratic) - 2.0).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 7.0 * x as f64)).collect();
+        assert!((power_law_exponent(&linear) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_degenerate_input() {
+        assert_eq!(power_law_exponent(&[]), 0.0);
+        assert_eq!(power_law_exponent(&[(1.0, 2.0)]), 0.0);
+        assert_eq!(power_law_exponent(&[(0.0, 2.0), (-1.0, 3.0)]), 0.0);
+        assert_eq!(power_law_exponent(&[(2.0, 5.0), (2.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn mean_ratio_summarizes() {
+        assert!((mean_ratio(&[(1.0, 2.0), (2.0, 4.0)]) - 0.5).abs() < 1e-9);
+        assert_eq!(mean_ratio(&[]), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # wsf-analysis — the experiment harness
+//!
+//! Reproduces every theorem and figure of *"Well-Structured Futures and
+//! Cache Locality"* as an executable experiment over the simulator
+//! (`wsf-core`), the workload generators (`wsf-workloads`) and the real
+//! runtime (`wsf-runtime`). See `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for an archived run.
+//!
+//! ```
+//! use wsf_analysis::{experiments, Scale};
+//!
+//! let tables = experiments::e7_lemma4(Scale::Quick);
+//! assert!(!tables[0].is_empty());
+//! println!("{}", tables[0]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod fit;
+pub mod table;
+
+pub use experiments::{registry, run_all, Scale};
+pub use fit::{mean_ratio, power_law_exponent};
+pub use table::Table;

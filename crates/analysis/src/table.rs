@@ -1,0 +1,107 @@
+//! Minimal text-table rendering for experiment output.
+
+/// A simple column-aligned table with a title, rendered as
+/// GitHub-flavoured markdown (which also reads fine as plain text).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (the experiment or figure it reproduces).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded with empty cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a row from displayable values.
+    pub fn row<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let cell = |row: &[String], i: usize| row.get(i).cloned().unwrap_or_default();
+        let mut widths = vec![0usize; cols];
+        for (i, w) in widths.iter_mut().enumerate() {
+            *w = cell(&self.headers, i).len();
+            for r in &self.rows {
+                *w = (*w).max(cell(r, i).len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        let fmt_row = |row: &[String]| {
+            let cells: Vec<String> = (0..cols)
+                .map(|i| format!("{:width$}", cell(row, i), width = widths[i]))
+                .collect();
+            format!("| {} |\n", cells.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Example", &["k", "deviations", "bound"]);
+        t.row(&[4, 12, 64]);
+        t.row(&[32, 100, 4096]);
+        let s = t.render();
+        assert!(s.contains("### Example"));
+        assert!(s.contains("| k "));
+        assert!(s.contains("| 32 | 100        | 4096  |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new("Ragged", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.contains("| 1 |   |"));
+    }
+}

@@ -1,0 +1,36 @@
+//! E9: application-shaped DAGs (fork-join and beyond) on the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_core::ForkPolicy;
+use wsf_workloads::apps;
+use wsf_workloads::figures::{fig5a, fig5b};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps");
+    let workloads: Vec<(&str, wsf_dag::Dag)> = vec![
+        ("fib12", apps::fib(sizes::FIB_N)),
+        ("reduce4096", apps::reduce(4_096, 16, 8)),
+        ("matmul6x6", apps::matmul(6, 8)),
+        ("map_reduce16", apps::map_reduce(16, 32)),
+        ("fig5a16", fig5a(16)),
+        ("fig5b16", fig5b(16)),
+    ];
+    for (name, dag) in &workloads {
+        group.bench_function(format!("{name}_p4"), |b| {
+            b.iter(|| simulate(dag, 4, 32, ForkPolicy::FutureFirst, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

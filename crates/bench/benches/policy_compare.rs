@@ -1,0 +1,33 @@
+//! E8: future-first vs parent-first simulation cost on the same DAGs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_core::ForkPolicy;
+use wsf_workloads::apps;
+use wsf_workloads::figures::Fig6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_compare");
+    let gadget = Fig6::gadget(sizes::FIG6_K, sizes::CACHE);
+    let reduce = apps::reduce(2_048, 16, 8);
+    for policy in ForkPolicy::ALL {
+        group.bench_function(format!("fig6a/{policy}"), |b| {
+            b.iter(|| simulate(&gadget.dag, 2, sizes::CACHE, policy, None))
+        });
+        group.bench_function(format!("reduce2048/{policy}"), |b| {
+            b.iter(|| simulate(&reduce, 4, sizes::CACHE, policy, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

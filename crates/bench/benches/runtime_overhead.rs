@@ -1,0 +1,36 @@
+//! E10: the real work-stealing runtime on the same kernels (spawn/touch
+//! overhead and policy comparison on OS threads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use wsf_runtime::{Runtime, SpawnPolicy};
+use wsf_workloads::runtime_apps;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_overhead");
+    for policy in SpawnPolicy::ALL {
+        let rt = Arc::new(Runtime::builder().threads(2).policy(policy).build());
+        group.bench_function(format!("fib16/{policy}"), |b| {
+            b.iter(|| runtime_apps::fib(&rt, 16))
+        });
+        let data: Arc<Vec<u64>> = Arc::new((0..100_000u64).collect());
+        group.bench_function(format!("sum100k/{policy}"), |b| {
+            b.iter(|| runtime_apps::sum(&rt, &data, 0, data.len(), 1_024))
+        });
+        group.bench_function(format!("pipeline1k/{policy}"), |b| {
+            b.iter(|| runtime_apps::pipeline(&rt, 1_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E6 / Theorems 16 & 18: computations synchronized through a super final
+//! node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_core::ForkPolicy;
+use wsf_dag::{Block, Dag, DagBuilder};
+
+fn side_effect_dag(threads: usize, work: usize) -> Dag {
+    let mut b = DagBuilder::new();
+    let main = b.main_thread();
+    for i in 0..threads {
+        let f = b.fork(main);
+        for w in 0..work {
+            let n = b.task(f.future_thread);
+            b.set_block(n, Block((i * work + w) as u32));
+        }
+        b.task(main);
+    }
+    b.finish_with_super_final().expect("valid super-final DAG")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("super_final");
+    for threads in [32usize, 128] {
+        let dag = side_effect_dag(threads, 8);
+        group.bench_function(format!("side_effects_{threads}_p4"), |b| {
+            b.iter(|| simulate(&dag, 4, sizes::CACHE, ForkPolicy::FutureFirst, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E3 / Theorem 10: the Figure 7(b) and Figure 8 adversarial executions
+//! (parent-first, single steal).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_workloads::figures::{Fig7b, Fig8};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm10_parent_first");
+    let chain = Fig7b::new(8, sizes::FIG7_N, sizes::CACHE);
+    group.bench_function("fig7b_adversarial", |b| {
+        b.iter(|| {
+            let mut adv = chain.adversary();
+            simulate(&chain.dag, 2, sizes::CACHE, Fig7b::POLICY, Some(&mut adv))
+        })
+    });
+    for depth in [2usize, sizes::FIG8_DEPTH] {
+        let fig = Fig8::new(depth, sizes::FIG7_N, sizes::CACHE);
+        group.bench_function(format!("fig8_adversarial_depth{depth}"), |b| {
+            b.iter(|| {
+                let mut adv = fig.adversary();
+                simulate(&fig.dag, 2, sizes::CACHE, Fig8::POLICY, Some(&mut adv))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E5 / Theorem 12: local-touch pipeline computations under future-first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_core::ForkPolicy;
+use wsf_workloads::pipeline::pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm12_local_touch");
+    for (stages, items) in [(4usize, 16usize), (8, 16)] {
+        let dag = pipeline(stages, items, 4);
+        for p in [2usize, 8] {
+            group.bench_function(format!("pipeline_s{stages}_i{items}_p{p}"), |b| {
+                b.iter(|| simulate(&dag, p, sizes::CACHE, ForkPolicy::FutureFirst, None))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E1 / Theorem 8: cost of simulating future-first work stealing on
+//! structured single-touch computations (Figure 4 nests and random DAGs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_core::ForkPolicy;
+use wsf_workloads::figures::fig4;
+use wsf_workloads::random::{random_single_touch, RandomConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm8_upper");
+    let nest = fig4(8, 4);
+    group.bench_function("fig4_depth8_p4", |b| {
+        b.iter(|| simulate(&nest, 4, sizes::CACHE, ForkPolicy::FutureFirst, None))
+    });
+    let random = random_single_touch(&RandomConfig {
+        target_nodes: 3_000,
+        seed: 11,
+        ..RandomConfig::default()
+    });
+    for p in [2usize, 8] {
+        group.bench_function(format!("random3000_p{p}"), |b| {
+            b.iter(|| simulate(&random, p, sizes::CACHE, ForkPolicy::FutureFirst, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

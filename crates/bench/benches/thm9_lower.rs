@@ -1,0 +1,43 @@
+//! E2 / Theorem 9: the Figure 6 adversarial executions (future-first).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_workloads::figures::Fig6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm9_lower");
+    for k in [8usize, sizes::FIG6_K, 32] {
+        let fig = Fig6::gadget(k, sizes::CACHE);
+        group.bench_function(format!("fig6a_adversarial_k{k}"), |b| {
+            b.iter(|| {
+                let mut adv = fig.adversary();
+                simulate(
+                    &fig.dag,
+                    fig.processors,
+                    sizes::CACHE,
+                    Fig6::POLICY,
+                    Some(&mut adv),
+                )
+            })
+        });
+    }
+    let repeated = Fig6::repeated(4, sizes::FIG6_K, 1);
+    group.bench_function("fig6b_repeated4_adversarial", |b| {
+        b.iter(|| {
+            let mut adv = repeated.adversary();
+            simulate(&repeated.dag, 2, 8, Fig6::POLICY, Some(&mut adv))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

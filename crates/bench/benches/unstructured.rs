@@ -1,0 +1,38 @@
+//! E4 / Figures 2 & 3: the single-touch amplification gadget and the
+//! unstructured-futures workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_bench::{simulate, sizes};
+use wsf_core::{ForkPolicy, SequentialExecutor};
+use wsf_workloads::figures::{fig3, Fig7a};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unstructured");
+    for blocked in [false, true] {
+        let fig = Fig7a::new(sizes::FIG7_N, sizes::CACHE, blocked);
+        let label = if blocked { "gate_delayed" } else { "gate_ready" };
+        group.bench_function(format!("fig7a_sequential_{label}"), |b| {
+            b.iter(|| {
+                SequentialExecutor::new(Fig7a::POLICY)
+                    .with_cache_lines(sizes::CACHE)
+                    .run(&fig.dag)
+            })
+        });
+    }
+    let dag = fig3(32);
+    group.bench_function("fig3_unstructured_p4", |b| {
+        b.iter(|| simulate(&dag, 4, sizes::CACHE, ForkPolicy::ParentFirst, None))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! harness [--quick] [all|e1|e2|...|e10]...
+//! ```
+//!
+//! With no experiment ids, all experiments run. `--quick` uses the reduced
+//! parameter sweeps (the sizes the test-suite uses); the default is the
+//! full sweep reported in `EXPERIMENTS.md`.
+
+use wsf_analysis::{registry, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+
+    println!("# Well-Structured Futures and Cache Locality — experiment harness");
+    println!(
+        "# scale: {:?}; run `harness --quick` for the reduced sweeps\n",
+        scale
+    );
+
+    let mut ran = 0;
+    for (id, description, runner) in registry() {
+        if !run_all && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        println!("## {} — {}\n", id.to_uppercase(), description);
+        let start = std::time::Instant::now();
+        for table in runner(scale) {
+            println!("{table}");
+        }
+        println!("_({} finished in {:.2?})_\n", id, start.elapsed());
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!("no experiment matched; known ids:");
+        for (id, description, _) in registry() {
+            eprintln!("  {id:4} {description}");
+        }
+        std::process::exit(2);
+    }
+}

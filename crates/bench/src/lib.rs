@@ -1,0 +1,73 @@
+//! # wsf-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the `harness` binary (`cargo run -p wsf-bench --bin harness --release`)
+//!   regenerates every experiment table (E1–E10 of `DESIGN.md`), i.e. the
+//!   quantitative content of each theorem and figure of the paper;
+//! * the Criterion benches (`cargo bench -p wsf-bench`) measure the cost of
+//!   the simulator, the workload generators and the real runtime on the
+//!   same workloads, one bench target per experiment.
+//!
+//! This library holds the small shared helpers used by both.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use wsf_core::{ExecutionReport, ForkPolicy, ParallelSimulator, Scheduler, SeqReport, SimConfig};
+use wsf_dag::Dag;
+
+/// Standard benchmark sizes, kept deliberately moderate so a full
+/// `cargo bench --workspace` finishes in minutes on one core.
+pub mod sizes {
+    /// Stages of the Figure 6(a) gadget.
+    pub const FIG6_K: usize = 16;
+    /// Z-chain stages of the Figure 7/8 gadgets.
+    pub const FIG7_N: usize = 16;
+    /// Cache lines used by the locality benches.
+    pub const CACHE: usize = 16;
+    /// Branch-tree depth of the Figure 8 construction.
+    pub const FIG8_DEPTH: usize = 3;
+    /// fib argument for app benches.
+    pub const FIB_N: usize = 12;
+}
+
+/// Runs `dag` on the simulator and returns the sequential baseline and the
+/// parallel report, using the supplied scheduler if any.
+pub fn simulate(
+    dag: &Dag,
+    processors: usize,
+    cache_lines: usize,
+    policy: ForkPolicy,
+    scheduler: Option<&mut dyn Scheduler>,
+) -> (SeqReport, ExecutionReport) {
+    let config = SimConfig {
+        processors,
+        cache_lines,
+        fork_policy: policy,
+        ..SimConfig::default()
+    };
+    let sim = ParallelSimulator::new(config);
+    let seq = sim.sequential(dag);
+    let report = match scheduler {
+        Some(s) => sim.run_against(dag, &seq, s, false),
+        None => sim.run(dag),
+    };
+    (seq, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_workloads::figures::Fig6;
+
+    #[test]
+    fn simulate_helper_runs_adversarial_and_random() {
+        let fig = Fig6::gadget(6, 4);
+        let (_, random) = simulate(&fig.dag, 2, 4, ForkPolicy::FutureFirst, None);
+        assert!(random.completed);
+        let mut adv = fig.adversary();
+        let (_, scripted) = simulate(&fig.dag, 2, 4, ForkPolicy::FutureFirst, Some(&mut adv));
+        assert!(scripted.completed);
+    }
+}

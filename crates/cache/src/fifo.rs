@@ -1,0 +1,123 @@
+//! Fully associative FIFO cache.
+//!
+//! The paper notes (footnote 1, Section 3) that its upper bounds, which are
+//! inherited from Acar, Blelloch and Blumofe's drifted-node argument, hold
+//! for all *simple* cache replacement policies. FIFO is the simplest such
+//! alternative and is used by the test-suite and the ablation benches to
+//! check that the measured locality gap is not an LRU artifact.
+
+use crate::{AccessOutcome, BlockId, Cache};
+use std::collections::VecDeque;
+
+/// A fully associative cache with first-in-first-out replacement.
+#[derive(Clone, Debug)]
+pub struct FifoCache {
+    queue: VecDeque<BlockId>,
+    capacity: usize,
+}
+
+impl FifoCache {
+    /// Creates an empty cache with `capacity` lines.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        FifoCache {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The block that would be evicted next, if any.
+    pub fn next_eviction(&self) -> Option<BlockId> {
+        self.queue.front().copied()
+    }
+}
+
+impl Cache for FifoCache {
+    fn access(&mut self, block: BlockId) -> AccessOutcome {
+        if self.queue.contains(&block) {
+            // FIFO does not update recency on a hit.
+            return AccessOutcome::Hit;
+        }
+        let evicted = if self.queue.len() == self.capacity {
+            self.queue.pop_front()
+        } else {
+            None
+        };
+        self.queue.push_back(block);
+        AccessOutcome::Miss { evicted }
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.queue.contains(&block)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    fn resident_blocks(&self) -> Vec<BlockId> {
+        self.queue.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FifoCache::new(0);
+    }
+
+    #[test]
+    fn evicts_in_insertion_order_regardless_of_hits() {
+        let mut c = FifoCache::new(3);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        // Hitting 1 does not protect it under FIFO.
+        assert!(c.access(1).is_hit());
+        let out = c.access(4);
+        assert_eq!(out.evicted(), Some(1));
+        assert!(!c.contains(1));
+        assert_eq!(c.next_eviction(), Some(2));
+    }
+
+    #[test]
+    fn differs_from_lru_on_hit_reordering() {
+        use crate::LruCache;
+        let trace = [1, 2, 3, 1, 4, 1];
+        let mut fifo = FifoCache::new(3);
+        let mut lru = LruCache::new(3);
+        let fifo_misses: u32 = trace.iter().map(|&b| fifo.access(b).is_miss() as u32).sum();
+        let lru_misses: u32 = trace.iter().map(|&b| lru.access(b).is_miss() as u32).sum();
+        assert_eq!(lru_misses, 4);
+        assert_eq!(fifo_misses, 5, "FIFO evicts the hit block 1 and re-misses it");
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut c = FifoCache::new(2);
+        assert!(c.is_empty());
+        c.access(9);
+        assert_eq!(c.len(), 1);
+        c.access(10);
+        c.access(11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! # wsf-cache — software cache simulators
+//!
+//! The cache model of *"Well-Structured Futures and Cache Locality"*
+//! (Herlihy & Liu, PPoPP 2014, Section 3): each processor owns a fully
+//! associative cache of `C` lines, each holding one memory block, managed
+//! with the LRU replacement policy. Every instruction (DAG node) accesses
+//! at most one block. The cache locality of an execution is the number of
+//! cache misses it incurs.
+//!
+//! This crate provides that model ([`LruCache`]) plus two variants used to
+//! check the paper's remark that its upper bounds hold for *all simple
+//! cache replacement policies*: a FIFO cache ([`FifoCache`]) and a
+//! set-associative LRU cache ([`SetAssociativeCache`]). All of them
+//! implement the [`Cache`] trait and can be driven through the
+//! bookkeeping wrapper [`CacheSim`].
+//!
+//! ```
+//! use wsf_cache::{Cache, CachePolicy, CacheSim};
+//!
+//! let mut sim = CacheSim::new(CachePolicy::Lru, 2);
+//! assert!(sim.access(1).is_miss());
+//! assert!(sim.access(2).is_miss());
+//! assert!(sim.access(1).is_hit());
+//! assert!(sim.access(3).is_miss()); // evicts block 2 (least recently used)
+//! assert!(sim.access(2).is_miss());
+//! assert_eq!(sim.stats().misses, 4);
+//! assert_eq!(sim.stats().hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod fifo;
+mod lru;
+mod set_assoc;
+mod sim;
+mod stats;
+
+pub use fifo::FifoCache;
+pub use lru::LruCache;
+pub use set_assoc::SetAssociativeCache;
+pub use sim::{CachePolicy, CacheSim};
+pub use stats::CacheStats;
+
+/// A memory block identifier. Blocks are the unit of cache occupancy: each
+/// cache line holds exactly one block.
+pub type BlockId = u32;
+
+/// The outcome of a single cache access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was already cached.
+    Hit,
+    /// The block was not cached; it has been loaded, evicting `evicted` if
+    /// the cache was full.
+    Miss {
+        /// The block that was evicted to make room, if any.
+        evicted: Option<BlockId>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit the cache.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// Whether the access missed the cache.
+    pub fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+
+    /// The evicted block, if the access was a miss that evicted one.
+    pub fn evicted(self) -> Option<BlockId> {
+        match self {
+            AccessOutcome::Hit => None,
+            AccessOutcome::Miss { evicted } => evicted,
+        }
+    }
+}
+
+/// Common interface of all simulated caches.
+pub trait Cache {
+    /// Accesses `block`, updating replacement state, and reports whether it
+    /// was a hit or a miss.
+    fn access(&mut self, block: BlockId) -> AccessOutcome;
+
+    /// Whether `block` is currently resident.
+    fn contains(&self, block: BlockId) -> bool;
+
+    /// Number of cache lines.
+    fn capacity(&self) -> usize;
+
+    /// Number of lines currently occupied.
+    fn len(&self) -> usize;
+
+    /// Whether the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the cache.
+    fn clear(&mut self);
+
+    /// The resident blocks, in an implementation-defined order.
+    fn resident_blocks(&self) -> Vec<BlockId>;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn exercise(cache: &mut dyn Cache) {
+        assert!(cache.is_empty());
+        assert!(cache.access(10).is_miss());
+        assert!(cache.contains(10));
+        assert!(!cache.contains(11));
+        assert!(cache.access(10).is_hit());
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(!cache.contains(10));
+    }
+
+    #[test]
+    fn all_policies_implement_the_trait_consistently() {
+        exercise(&mut LruCache::new(4));
+        exercise(&mut FifoCache::new(4));
+        exercise(&mut SetAssociativeCache::new(2, 2));
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(AccessOutcome::Hit.is_hit());
+        assert!(!AccessOutcome::Hit.is_miss());
+        assert_eq!(AccessOutcome::Hit.evicted(), None);
+        let m = AccessOutcome::Miss { evicted: Some(3) };
+        assert!(m.is_miss());
+        assert_eq!(m.evicted(), Some(3));
+        let m = AccessOutcome::Miss { evicted: None };
+        assert_eq!(m.evicted(), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fully associative LRU cache — the paper's cache model.
+
+use crate::{AccessOutcome, BlockId, Cache};
+
+/// A fully associative cache of `capacity` lines with least-recently-used
+/// replacement.
+///
+/// The recency order is kept in a vector with the most recently used block
+/// at the back. Capacities in the paper's experiments are small (tens of
+/// lines), so the O(C) shift per access is faster in practice than a linked
+/// structure and keeps the implementation obviously correct.
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    /// Resident blocks ordered from least recently used (front) to most
+    /// recently used (back).
+    order: Vec<BlockId>,
+    capacity: usize,
+}
+
+impl LruCache {
+    /// Creates an empty cache with `capacity` lines.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            order: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The least recently used resident block, if any.
+    pub fn lru_block(&self) -> Option<BlockId> {
+        self.order.first().copied()
+    }
+
+    /// The most recently used resident block, if any.
+    pub fn mru_block(&self) -> Option<BlockId> {
+        self.order.last().copied()
+    }
+}
+
+impl Cache for LruCache {
+    fn access(&mut self, block: BlockId) -> AccessOutcome {
+        if let Some(pos) = self.order.iter().position(|&b| b == block) {
+            self.order.remove(pos);
+            self.order.push(block);
+            return AccessOutcome::Hit;
+        }
+        let evicted = if self.order.len() == self.capacity {
+            Some(self.order.remove(0))
+        } else {
+            None
+        };
+        self.order.push(block);
+        AccessOutcome::Miss { evicted }
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.order.contains(&block)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+    }
+
+    fn resident_blocks(&self) -> Vec<BlockId> {
+        self.order.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::new(0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        // touch 1 so that 2 becomes LRU
+        assert!(c.access(1).is_hit());
+        let out = c.access(4);
+        assert_eq!(out.evicted(), Some(2));
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+        assert!(c.contains(4));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn lru_and_mru_tracking() {
+        let mut c = LruCache::new(3);
+        assert_eq!(c.lru_block(), None);
+        assert_eq!(c.mru_block(), None);
+        c.access(5);
+        c.access(6);
+        c.access(7);
+        assert_eq!(c.lru_block(), Some(5));
+        assert_eq!(c.mru_block(), Some(7));
+        c.access(5);
+        assert_eq!(c.lru_block(), Some(6));
+        assert_eq!(c.mru_block(), Some(5));
+    }
+
+    #[test]
+    fn sequential_scan_of_c_plus_one_blocks_thrashes() {
+        // The classic LRU pathology exploited by the paper's lower-bound
+        // constructions: cyclically accessing C+1 blocks misses every time.
+        let c_lines = 8;
+        let mut c = LruCache::new(c_lines);
+        let mut misses = 0;
+        for round in 0..10 {
+            for b in 0..=(c_lines as BlockId) {
+                if c.access(b).is_miss() {
+                    misses += 1;
+                }
+            }
+            assert_eq!(misses, (round + 1) * (c_lines as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_only_cold_misses() {
+        let mut c = LruCache::new(8);
+        let mut misses = 0;
+        for _ in 0..5 {
+            for b in 0..8 {
+                if c.access(b).is_miss() {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 8, "only compulsory misses");
+    }
+
+    #[test]
+    fn resident_blocks_reports_in_recency_order() {
+        let mut c = LruCache::new(4);
+        for b in [1, 2, 3] {
+            c.access(b);
+        }
+        c.access(2);
+        assert_eq!(c.resident_blocks(), vec![1, 3, 2]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.capacity(), 4);
+    }
+}

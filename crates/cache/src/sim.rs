@@ -1,0 +1,224 @@
+//! A policy-selectable cache with hit/miss accounting.
+
+use crate::{AccessOutcome, BlockId, Cache, CacheStats, FifoCache, LruCache, SetAssociativeCache};
+
+/// Which replacement policy a [`CacheSim`] uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Fully associative least-recently-used (the paper's model).
+    Lru,
+    /// Fully associative first-in-first-out.
+    Fifo,
+    /// Set-associative LRU with the given number of sets; the total
+    /// capacity is still the number of lines passed to [`CacheSim::new`],
+    /// split evenly across sets.
+    SetAssociative {
+        /// Number of sets; must divide the line count.
+        sets: usize,
+    },
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy::Lru
+    }
+}
+
+enum Inner {
+    Lru(LruCache),
+    Fifo(FifoCache),
+    SetAssoc(SetAssociativeCache),
+}
+
+/// A simulated processor cache: a replacement policy plus hit/miss/silent
+/// accounting. This is the object the execution simulator attaches to each
+/// simulated processor.
+pub struct CacheSim {
+    inner: Inner,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates a cache of `lines` lines managed by `policy`.
+    ///
+    /// # Panics
+    /// Panics if `lines` is zero, or if a set-associative policy's set count
+    /// does not evenly divide `lines`.
+    pub fn new(policy: CachePolicy, lines: usize) -> Self {
+        assert!(lines > 0, "cache capacity must be positive");
+        let inner = match policy {
+            CachePolicy::Lru => Inner::Lru(LruCache::new(lines)),
+            CachePolicy::Fifo => Inner::Fifo(FifoCache::new(lines)),
+            CachePolicy::SetAssociative { sets } => {
+                assert!(
+                    sets > 0 && lines % sets == 0,
+                    "set count must divide the number of lines"
+                );
+                Inner::SetAssoc(SetAssociativeCache::new(sets, lines / sets))
+            }
+        };
+        CacheSim {
+            inner,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn cache_mut(&mut self) -> &mut dyn Cache {
+        match &mut self.inner {
+            Inner::Lru(c) => c,
+            Inner::Fifo(c) => c,
+            Inner::SetAssoc(c) => c,
+        }
+    }
+
+    fn cache(&self) -> &dyn Cache {
+        match &self.inner {
+            Inner::Lru(c) => c,
+            Inner::Fifo(c) => c,
+            Inner::SetAssoc(c) => c,
+        }
+    }
+
+    /// Accesses `block`, updating the statistics.
+    pub fn access(&mut self, block: BlockId) -> AccessOutcome {
+        let outcome = self.cache_mut().access(block);
+        if outcome.is_hit() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        outcome
+    }
+
+    /// Records an instruction that performs no memory access.
+    pub fn access_none(&mut self) {
+        self.stats.silent += 1;
+    }
+
+    /// Accesses `block` if it is `Some`, otherwise records a silent
+    /// instruction. Returns the outcome for real accesses.
+    pub fn access_opt(&mut self, block: Option<BlockId>) -> Option<AccessOutcome> {
+        match block {
+            Some(b) => Some(self.access(b)),
+            None => {
+                self.access_none();
+                None
+            }
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.stats.misses
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.cache().contains(block)
+    }
+
+    /// The cache capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.cache().capacity()
+    }
+
+    /// The resident blocks.
+    pub fn resident_blocks(&self) -> Vec<BlockId> {
+        self.cache().resident_blocks()
+    }
+
+    /// Empties the cache but keeps the statistics.
+    pub fn flush(&mut self) {
+        self.cache_mut().clear();
+    }
+
+    /// Empties the cache and resets the statistics.
+    pub fn reset(&mut self) {
+        self.flush();
+        self.stats = CacheStats::default();
+    }
+}
+
+impl std::fmt::Debug for CacheSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheSim")
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_policy_counts_hits_and_misses() {
+        let mut sim = CacheSim::new(CachePolicy::Lru, 2);
+        sim.access(1);
+        sim.access(2);
+        sim.access(1);
+        sim.access(3);
+        sim.access_none();
+        assert_eq!(sim.stats().misses, 3);
+        assert_eq!(sim.stats().hits, 1);
+        assert_eq!(sim.stats().silent, 1);
+        assert_eq!(sim.misses(), 3);
+        assert!(sim.contains(1));
+        assert_eq!(sim.capacity(), 2);
+    }
+
+    #[test]
+    fn access_opt_routes_correctly() {
+        let mut sim = CacheSim::new(CachePolicy::Fifo, 2);
+        assert!(sim.access_opt(Some(5)).unwrap().is_miss());
+        assert!(sim.access_opt(None).is_none());
+        assert_eq!(sim.stats().silent, 1);
+        assert_eq!(sim.stats().misses, 1);
+    }
+
+    #[test]
+    fn set_associative_policy_constructs() {
+        let mut sim = CacheSim::new(CachePolicy::SetAssociative { sets: 2 }, 4);
+        for b in 0..4 {
+            sim.access(b);
+        }
+        assert_eq!(sim.stats().misses, 4);
+        assert_eq!(sim.resident_blocks().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "set count must divide")]
+    fn bad_set_count_panics() {
+        let _ = CacheSim::new(CachePolicy::SetAssociative { sets: 3 }, 4);
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut sim = CacheSim::new(CachePolicy::Lru, 2);
+        sim.access(1);
+        sim.flush();
+        assert!(!sim.contains(1));
+        assert_eq!(sim.stats().misses, 1, "flush keeps stats");
+        sim.reset();
+        assert_eq!(sim.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn default_policy_is_lru() {
+        assert_eq!(CachePolicy::default(), CachePolicy::Lru);
+    }
+
+    #[test]
+    fn debug_format_mentions_stats() {
+        let sim = CacheSim::new(CachePolicy::Lru, 2);
+        let s = format!("{sim:?}");
+        assert!(s.contains("CacheSim"));
+        assert!(s.contains("capacity"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Hit/miss accounting shared by every simulated cache.
+
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated by a [`crate::CacheSim`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit the cache.
+    pub hits: u64,
+    /// Number of accesses that missed the cache.
+    pub misses: u64,
+    /// Number of accesses that did not touch memory at all (nodes without a
+    /// block annotation).
+    pub silent: u64,
+}
+
+impl CacheStats {
+    /// Total number of memory accesses (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate over memory accesses, or 0 if there were none.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            silent: self.silent + rhs.silent,
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_and_miss_rate() {
+        let s = CacheStats {
+            hits: 6,
+            misses: 2,
+            silent: 10,
+        };
+        assert_eq!(s.accesses(), 8);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            silent: 3,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            silent: 30,
+        };
+        let c = a + b;
+        assert_eq!(c.hits, 11);
+        assert_eq!(c.misses, 22);
+        assert_eq!(c.silent, 33);
+
+        let mut d = CacheStats::default();
+        d += a;
+        d += b;
+        assert_eq!(d, c);
+
+        let total: CacheStats = [a, b].into_iter().sum();
+        assert_eq!(total, c);
+    }
+}

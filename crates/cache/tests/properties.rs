@@ -1,0 +1,120 @@
+//! Property-based tests of the cache simulators against a reference model.
+
+use proptest::prelude::*;
+use wsf_cache::{Cache, CachePolicy, CacheSim, FifoCache, LruCache};
+
+/// A straightforward reference implementation of fully associative LRU kept
+/// deliberately different in structure from `LruCache` (timestamps instead
+/// of a recency vector).
+struct ReferenceLru {
+    capacity: usize,
+    clock: u64,
+    resident: Vec<(u32, u64)>,
+}
+
+impl ReferenceLru {
+    fn new(capacity: usize) -> Self {
+        ReferenceLru {
+            capacity,
+            clock: 0,
+            resident: Vec::new(),
+        }
+    }
+
+    fn access(&mut self, block: u32) -> bool {
+        self.clock += 1;
+        if let Some(entry) = self.resident.iter_mut().find(|(b, _)| *b == block) {
+            entry.1 = self.clock;
+            return true;
+        }
+        if self.resident.len() == self.capacity {
+            let idx = self
+                .resident
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.resident.swap_remove(idx);
+        }
+        self.resident.push((block, self.clock));
+        false
+    }
+}
+
+fn trace_strategy() -> impl Strategy<Value = (usize, Vec<u32>)> {
+    (1usize..24, proptest::collection::vec(0u32..40, 1..400))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_matches_reference_model((capacity, trace) in trace_strategy()) {
+        let mut lru = LruCache::new(capacity);
+        let mut reference = ReferenceLru::new(capacity);
+        for &block in &trace {
+            let got_hit = lru.access(block).is_hit();
+            let want_hit = reference.access(block);
+            prop_assert_eq!(got_hit, want_hit, "block {} diverged", block);
+        }
+        prop_assert!(lru.len() <= capacity);
+    }
+
+    #[test]
+    fn lru_inclusion_property((capacity, trace) in trace_strategy()) {
+        // A larger LRU cache never misses more often than a smaller one
+        // (the classic stack/inclusion property of LRU).
+        let mut small = CacheSim::new(CachePolicy::Lru, capacity);
+        let mut large = CacheSim::new(CachePolicy::Lru, capacity + 4);
+        for &block in &trace {
+            small.access(block);
+            large.access(block);
+        }
+        prop_assert!(large.stats().misses <= small.stats().misses);
+    }
+
+    #[test]
+    fn miss_counts_are_bounded_by_accesses((capacity, trace) in trace_strategy()) {
+        let distinct = {
+            let mut blocks = trace.clone();
+            blocks.sort_unstable();
+            blocks.dedup();
+            blocks.len() as u64
+        };
+        for policy in [CachePolicy::Lru, CachePolicy::Fifo] {
+            let mut sim = CacheSim::new(policy, capacity);
+            for &block in &trace {
+                sim.access(block);
+            }
+            let stats = sim.stats();
+            prop_assert_eq!(stats.accesses(), trace.len() as u64);
+            prop_assert!(stats.misses >= distinct.min(trace.len() as u64) && stats.misses >= 1);
+            prop_assert!(stats.misses <= trace.len() as u64);
+            // Compulsory misses: at least one miss per distinct block.
+            prop_assert!(stats.misses >= distinct);
+        }
+    }
+
+    #[test]
+    fn fifo_occupancy_never_exceeds_capacity((capacity, trace) in trace_strategy()) {
+        let mut fifo = FifoCache::new(capacity);
+        for &block in &trace {
+            fifo.access(block);
+            prop_assert!(fifo.len() <= capacity);
+            prop_assert!(fifo.contains(block));
+        }
+    }
+
+    #[test]
+    fn resident_blocks_are_consistent_with_contains((capacity, trace) in trace_strategy()) {
+        let mut lru = LruCache::new(capacity);
+        for &block in &trace {
+            lru.access(block);
+        }
+        for block in lru.resident_blocks() {
+            prop_assert!(lru.contains(block));
+        }
+        prop_assert_eq!(lru.resident_blocks().len(), lru.len());
+    }
+}

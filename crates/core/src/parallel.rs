@@ -1,0 +1,382 @@
+//! The simulated parallel work-stealing execution.
+//!
+//! `P` simulated processors execute the DAG in discrete time steps. Each
+//! processor owns a deque of ready nodes and a private cache. In each step
+//! an awake processor either works one unit on its current node (completing
+//! it when its weight is exhausted) or, if it has nothing to do, attempts
+//! one steal from the top of another processor's deque. Completing a node
+//! enables its children; the parsimonious rule
+//! ([`crate::ready::schedule_enabled`]) decides which enabled child the
+//! processor continues with and which it pushes.
+//!
+//! The simulator counts, per processor, executed nodes, successful and
+//! failed steals, cache hits/misses and *deviations* (nodes not executed
+//! immediately after their predecessor in the sequential order, by the same
+//! processor), which are exactly the quantities bounded by the paper's
+//! theorems.
+
+use crate::config::SimConfig;
+use crate::ready::{schedule_enabled, ReadyTracker};
+use crate::report::{ExecutionReport, ProcStats, SeqReport, TraceEvent};
+use crate::scheduler::{RandomScheduler, Scheduler};
+use crate::sequential::SequentialExecutor;
+use wsf_cache::CacheSim;
+use wsf_dag::{Dag, NodeId};
+use wsf_deque::SimDeque;
+
+/// A simulated parallel execution of a computation DAG under parsimonious
+/// work stealing.
+#[derive(Copy, Clone, Debug)]
+pub struct ParallelSimulator {
+    config: SimConfig,
+}
+
+struct Proc {
+    deque: SimDeque<NodeId>,
+    /// The node currently being executed and its remaining weight.
+    current: Option<(NodeId, u32)>,
+    last_completed: Option<NodeId>,
+    cache: CacheSim,
+    stats: ProcStats,
+}
+
+impl ParallelSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        ParallelSimulator { config }
+    }
+
+    /// The configuration this simulator runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the DAG with the default random steal scheduler, computing the
+    /// sequential baseline (same fork policy) internally for deviation
+    /// counting.
+    pub fn run(&self, dag: &Dag) -> ExecutionReport {
+        let seq = self.sequential(dag);
+        let mut scheduler = RandomScheduler::new(self.config.seed);
+        self.run_against(dag, &seq, &mut scheduler, false)
+    }
+
+    /// Runs the DAG with a caller-supplied scheduler (e.g. a scripted
+    /// adversary), computing the sequential baseline internally.
+    pub fn run_with(&self, dag: &Dag, scheduler: &mut dyn Scheduler) -> ExecutionReport {
+        let seq = self.sequential(dag);
+        self.run_against(dag, &seq, scheduler, false)
+    }
+
+    /// The sequential baseline execution matching this simulator's fork
+    /// policy, cache policy and cache size.
+    pub fn sequential(&self, dag: &Dag) -> SeqReport {
+        SequentialExecutor::new(self.config.fork_policy)
+            .with_cache_lines(self.config.cache_lines)
+            .with_cache_policy(self.config.cache_policy)
+            .run(dag)
+    }
+
+    /// Runs the DAG against a precomputed sequential baseline.
+    ///
+    /// `record_trace` additionally records every completion event (step,
+    /// processor, node), which the tests and some experiments use to verify
+    /// execution orders node by node.
+    pub fn run_against(
+        &self,
+        dag: &Dag,
+        seq: &SeqReport,
+        scheduler: &mut dyn Scheduler,
+        record_trace: bool,
+    ) -> ExecutionReport {
+        let p_count = self.config.processors.max(1);
+        let seq_prev = seq.predecessors();
+        let mut tracker = ReadyTracker::new(dag);
+        let mut procs: Vec<Proc> = (0..p_count)
+            .map(|_| Proc {
+                deque: SimDeque::new(),
+                current: None,
+                last_completed: None,
+                cache: CacheSim::new(self.config.cache_policy, self.config.cache_lines),
+                stats: ProcStats::default(),
+            })
+            .collect();
+        let mut trace = if record_trace { Some(Vec::new()) } else { None };
+
+        // The computation starts with the root node on processor 0.
+        procs[0].current = Some((dag.root(), dag.node(dag.root()).weight()));
+
+        let total = dag.num_nodes();
+        let budget = self.config.step_budget(dag.work());
+        let mut step: u64 = 0;
+        let mut makespan = 0;
+
+        while tracker.executed_count() < total && step < budget {
+            let mut progressed = false;
+
+            for p in 0..p_count {
+                if !scheduler.is_awake(p, step) {
+                    continue;
+                }
+                match procs[p].current {
+                    Some((node, remaining)) => {
+                        progressed = true;
+                        if remaining > 1 {
+                            procs[p].current = Some((node, remaining - 1));
+                        } else {
+                            procs[p].current = None;
+                            self.complete(
+                                dag,
+                                &mut tracker,
+                                &mut procs[p],
+                                &seq_prev,
+                                scheduler,
+                                p,
+                                node,
+                                step,
+                                &mut trace,
+                            );
+                            makespan = step + 1;
+                        }
+                    }
+                    None => {
+                        // Idle processor: its own deque is drained at
+                        // completion time, so the only way to obtain work is
+                        // to steal from the top of another processor's deque.
+                        let candidates: Vec<usize> = (0..p_count)
+                            .filter(|&q| q != p && !procs[q].deque.is_empty())
+                            .collect();
+                        match scheduler.choose_victim(p, &candidates) {
+                            Some(victim) if candidates.contains(&victim) => {
+                                let stolen = procs[victim].deque.steal_top();
+                                match stolen {
+                                    Some(node) => {
+                                        procs[p].current =
+                                            Some((node, dag.node(node).weight()));
+                                        procs[p].stats.steals += 1;
+                                        progressed = true;
+                                    }
+                                    None => procs[p].stats.failed_steals += 1,
+                                }
+                            }
+                            _ => {
+                                if !candidates.is_empty() {
+                                    procs[p].stats.failed_steals += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !progressed {
+                scheduler.on_stalled(step);
+            }
+            step += 1;
+        }
+
+        ExecutionReport {
+            per_proc: procs.into_iter().map(|p| p.stats).collect(),
+            makespan,
+            completed: tracker.executed_count() == total,
+            trace,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn complete(
+        &self,
+        dag: &Dag,
+        tracker: &mut ReadyTracker,
+        proc: &mut Proc,
+        seq_prev: &[Option<NodeId>],
+        scheduler: &mut dyn Scheduler,
+        p: usize,
+        node: NodeId,
+        step: u64,
+        trace: &mut Option<Vec<TraceEvent>>,
+    ) {
+        proc.cache.access_opt(dag.block_of(node).map(|b| b.0));
+        proc.stats.executed += 1;
+
+        // A node is a deviation unless this same processor executed its
+        // sequential predecessor immediately before it.
+        let expected = seq_prev.get(node.index()).copied().flatten();
+        if proc.last_completed != expected {
+            proc.stats.deviations += 1;
+        }
+        proc.last_completed = Some(node);
+        if let Some(t) = trace.as_mut() {
+            t.push(TraceEvent {
+                step,
+                proc: p,
+                node,
+            });
+        }
+
+        let enabled = tracker.complete(dag, node);
+        let cont = schedule_enabled(dag, node, &enabled, self.config.fork_policy);
+        if let Some(push) = cont.push {
+            proc.deque.push_bottom(push);
+        }
+        // Continue with the chosen child, otherwise fall back to the bottom
+        // of the own deque (the parsimonious rule).
+        let next = cont.next.or_else(|| proc.deque.pop_bottom());
+        proc.current = next.map(|n| (n, dag.node(n).weight()));
+        proc.stats.cache = proc.cache.stats();
+
+        scheduler.on_complete(p, node, step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ForkPolicy;
+    use crate::scheduler::GreedyScheduler;
+    use wsf_dag::{Block, DagBuilder};
+
+    /// A balanced fork-join tree of depth `depth` where every leaf touches a
+    /// distinct block.
+    fn fork_tree(depth: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        // Recursively spawn: thread spawns two children at each level.
+        fn expand(
+            b: &mut DagBuilder,
+            thread: wsf_dag::ThreadId,
+            depth: usize,
+            next_block: &mut u32,
+        ) {
+            if depth == 0 {
+                let n = b.task(thread);
+                b.set_block(n, Block(*next_block));
+                *next_block += 1;
+                return;
+            }
+            let f = b.fork(thread);
+            expand(b, f.future_thread, depth - 1, next_block);
+            b.task(thread);
+            expand(b, thread, depth - 1, next_block);
+            b.touch_thread(thread, f.future_thread);
+        }
+        let mut blocks = 0;
+        expand(&mut b, main, depth, &mut blocks);
+        b.task(main);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn single_processor_run_matches_sequential_order() {
+        let dag = fork_tree(3);
+        let config = SimConfig {
+            processors: 1,
+            ..SimConfig::default()
+        };
+        let sim = ParallelSimulator::new(config);
+        let seq = sim.sequential(&dag);
+        let mut sched = GreedyScheduler;
+        let report = sim.run_against(&dag, &seq, &mut sched, true);
+
+        assert!(report.completed);
+        assert_eq!(report.executed(), dag.num_nodes() as u64);
+        assert_eq!(report.deviations(), 0, "one processor cannot deviate");
+        assert_eq!(report.steals(), 0);
+        assert_eq!(report.cache_misses(), seq.cache_misses());
+
+        let trace = report.trace.unwrap();
+        let order: Vec<NodeId> = trace.iter().map(|e| e.node).collect();
+        assert_eq!(order, seq.order);
+    }
+
+    #[test]
+    fn parallel_run_executes_every_node_exactly_once() {
+        let dag = fork_tree(4);
+        for processors in [2, 3, 4, 8] {
+            for policy in ForkPolicy::ALL {
+                let config = SimConfig {
+                    processors,
+                    fork_policy: policy,
+                    ..SimConfig::default()
+                };
+                let report = ParallelSimulator::new(config).run(&dag);
+                assert!(report.completed, "P={processors} {policy}");
+                assert_eq!(report.executed(), dag.num_nodes() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic_for_a_seed() {
+        let dag = fork_tree(4);
+        let config = SimConfig {
+            processors: 4,
+            seed: 42,
+            ..SimConfig::default()
+        };
+        let a = ParallelSimulator::new(config).run(&dag);
+        let b = ParallelSimulator::new(config).run(&dag);
+        assert_eq!(a.deviations(), b.deviations());
+        assert_eq!(a.cache_misses(), b.cache_misses());
+        assert_eq!(a.steals(), b.steals());
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn deviations_are_bounded_by_executed_nodes() {
+        let dag = fork_tree(5);
+        let config = SimConfig {
+            processors: 4,
+            ..SimConfig::default()
+        };
+        let report = ParallelSimulator::new(config).run(&dag);
+        assert!(report.deviations() <= report.executed());
+        assert!(report.busy_processors() >= 1);
+    }
+
+    #[test]
+    fn work_is_actually_distributed_with_greedy_stealing() {
+        let dag = fork_tree(6);
+        let config = SimConfig {
+            processors: 4,
+            ..SimConfig::default()
+        };
+        let sim = ParallelSimulator::new(config);
+        let seq = sim.sequential(&dag);
+        let mut sched = GreedyScheduler;
+        let report = sim.run_against(&dag, &seq, &mut sched, false);
+        assert!(report.completed);
+        assert!(report.steals() > 0, "thieves find work in a wide tree");
+        assert!(report.busy_processors() > 1);
+        assert!(report.makespan < dag.num_nodes() as u64, "parallelism shortens the makespan");
+    }
+
+    #[test]
+    fn weighted_nodes_take_multiple_steps() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        let n = b.task(main);
+        b.set_weight(n, 10);
+        b.task(main);
+        let dag = b.finish().unwrap();
+        let config = SimConfig {
+            processors: 1,
+            ..SimConfig::default()
+        };
+        let report = ParallelSimulator::new(config).run(&dag);
+        assert!(report.completed);
+        assert!(report.makespan >= 12, "weights contribute to the makespan");
+    }
+
+    #[test]
+    fn incomplete_when_budget_too_small() {
+        let dag = fork_tree(3);
+        let config = SimConfig {
+            processors: 2,
+            max_steps: Some(3),
+            ..SimConfig::default()
+        };
+        let report = ParallelSimulator::new(config).run(&dag);
+        assert!(!report.completed);
+        assert!(report.executed() < dag.num_nodes() as u64);
+    }
+}

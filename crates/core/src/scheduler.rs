@@ -1,0 +1,296 @@
+//! Steal scheduling: who is awake, and whom a thief steals from.
+//!
+//! The upper-bound theorems of the paper are statements *in expectation*
+//! over the random choices of the work-stealing scheduler; the lower-bound
+//! theorems exhibit specific adversarial schedules ("processor 2 falls
+//! asleep just before executing w; processor 1 steals from it; ...").
+//! The [`Scheduler`] trait abstracts over both: [`RandomScheduler`] picks
+//! victims uniformly at random from a seeded RNG, while
+//! [`ScriptedScheduler`] replays the adversarial scenarios used in the
+//! proofs of Theorems 9 and 10.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use wsf_dag::NodeId;
+
+/// Controls processor wake state and steal-victim selection during a
+/// simulated execution.
+pub trait Scheduler {
+    /// Called whenever `proc` completes `node` at `step`.
+    fn on_complete(&mut self, _proc: usize, _node: NodeId, _step: u64) {}
+
+    /// Called when a step passes in which no awake processor made progress
+    /// and no work is in flight (the execution would otherwise be stuck).
+    fn on_stalled(&mut self, _step: u64) {}
+
+    /// Whether `proc` may act during `step`.
+    fn is_awake(&mut self, _proc: usize, _step: u64) -> bool {
+        true
+    }
+
+    /// Chooses a steal victim for `thief` among `candidates` (processors
+    /// with non-empty deques, excluding the thief itself). Returning `None`
+    /// means the thief idles this step.
+    fn choose_victim(&mut self, thief: usize, candidates: &[usize]) -> Option<usize>;
+}
+
+/// The default scheduler: every processor is always awake and victims are
+/// chosen uniformly at random, as in the Arora–Blumofe–Plaxton analysis the
+/// paper builds on.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: SmallRng,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler seeded with `seed` (deterministic per seed).
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose_victim(&mut self, _thief: usize, candidates: &[usize]) -> Option<usize> {
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+/// A scheduler that always steals from the lowest-numbered candidate.
+/// Useful for fully deterministic tests.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyScheduler;
+
+impl Scheduler for GreedyScheduler {
+    fn choose_victim(&mut self, _thief: usize, candidates: &[usize]) -> Option<usize> {
+        candidates.first().copied()
+    }
+}
+
+/// When a sleeping processor wakes up again.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WakeCondition {
+    /// Wake once the given node has been executed (by anyone).
+    AfterNode(NodeId),
+    /// Wake when the execution would otherwise be stuck: no awake processor
+    /// can make progress. Models the proofs' "after p1 finishes, p2 wakes
+    /// up".
+    WhenStalled,
+    /// Wake at the given absolute step.
+    AtStep(u64),
+    /// Never wake up again ("falls asleep forever").
+    Never,
+}
+
+/// One scripted sleep directive: when `proc` completes `after`, it falls
+/// asleep until `until`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SleepDirective {
+    /// The processor that falls asleep.
+    pub proc: usize,
+    /// The node whose completion (by that processor) triggers the sleep.
+    pub after: NodeId,
+    /// When the processor wakes up again.
+    pub until: WakeCondition,
+}
+
+/// A deterministic, scripted adversary.
+///
+/// Built from a list of [`SleepDirective`]s plus per-thief victim
+/// preference lists. Victim preferences are consulted in order; if none of
+/// the preferred victims is a candidate, the lowest-numbered candidate is
+/// used (set `strict_victims` to make the thief idle instead).
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedScheduler {
+    sleep_after: HashMap<(usize, u32), WakeCondition>,
+    victim_preference: HashMap<usize, Vec<usize>>,
+    strict_victims: bool,
+    asleep: HashMap<usize, WakeCondition>,
+    executed_nodes: std::collections::HashSet<u32>,
+}
+
+impl ScriptedScheduler {
+    /// Creates an empty script (equivalent to [`GreedyScheduler`]).
+    pub fn new() -> Self {
+        ScriptedScheduler::default()
+    }
+
+    /// Puts `proc` to sleep from the very beginning of the execution, until
+    /// `until` holds. Used to keep a processor out of the race for the first
+    /// few steals while the proof's scenario is being set up.
+    pub fn initially_asleep(mut self, proc: usize, until: WakeCondition) -> Self {
+        self.asleep.insert(proc, until);
+        self
+    }
+
+    /// Adds a sleep directive.
+    pub fn sleep(mut self, directive: SleepDirective) -> Self {
+        self.sleep_after
+            .insert((directive.proc, directive.after.0), directive.until);
+        self
+    }
+
+    /// Adds a sleep directive (convenience form).
+    pub fn sleep_after(self, proc: usize, after: NodeId, until: WakeCondition) -> Self {
+        self.sleep(SleepDirective { proc, after, until })
+    }
+
+    /// Sets the victim preference order for `thief`.
+    pub fn prefer_victims(mut self, thief: usize, victims: Vec<usize>) -> Self {
+        self.victim_preference.insert(thief, victims);
+        self
+    }
+
+    /// Makes thieves idle rather than fall back to an arbitrary victim when
+    /// none of their preferred victims has work.
+    pub fn strict_victims(mut self) -> Self {
+        self.strict_victims = true;
+        self
+    }
+
+    fn wake_ready(&mut self, step: u64) {
+        let executed = &self.executed_nodes;
+        self.asleep.retain(|_, cond| match cond {
+            WakeCondition::AfterNode(n) => !executed.contains(&n.0),
+            WakeCondition::AtStep(s) => step < *s,
+            WakeCondition::WhenStalled | WakeCondition::Never => true,
+        });
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn on_complete(&mut self, proc: usize, node: NodeId, step: u64) {
+        self.executed_nodes.insert(node.0);
+        if let Some(&until) = self.sleep_after.get(&(proc, node.0)) {
+            self.asleep.insert(proc, until);
+        }
+        self.wake_ready(step);
+    }
+
+    fn on_stalled(&mut self, _step: u64) {
+        // Wake exactly one stalled sleeper (the lowest-numbered), matching
+        // the proofs' one-at-a-time wake-ups.
+        if let Some(&proc) = self
+            .asleep
+            .iter()
+            .filter(|(_, c)| matches!(c, WakeCondition::WhenStalled))
+            .map(|(p, _)| p)
+            .min()
+        {
+            self.asleep.remove(&proc);
+        }
+    }
+
+    fn is_awake(&mut self, proc: usize, step: u64, ) -> bool {
+        self.wake_ready(step);
+        !self.asleep.contains_key(&proc)
+    }
+
+    fn choose_victim(&mut self, thief: usize, candidates: &[usize]) -> Option<usize> {
+        if let Some(prefs) = self.victim_preference.get(&thief) {
+            for &p in prefs {
+                if candidates.contains(&p) {
+                    return Some(p);
+                }
+            }
+            if self.strict_victims {
+                return None;
+            }
+        }
+        candidates.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let mut a = RandomScheduler::new(7);
+        let mut b = RandomScheduler::new(7);
+        let candidates = [0, 1, 2, 3, 4];
+        for _ in 0..32 {
+            assert_eq!(
+                a.choose_victim(9, &candidates),
+                b.choose_victim(9, &candidates)
+            );
+        }
+        assert_eq!(a.choose_victim(9, &[]), None);
+    }
+
+    #[test]
+    fn greedy_scheduler_picks_first() {
+        let mut g = GreedyScheduler;
+        assert_eq!(g.choose_victim(0, &[3, 1, 2]), Some(3));
+        assert_eq!(g.choose_victim(0, &[]), None);
+        assert!(g.is_awake(0, 0));
+    }
+
+    #[test]
+    fn scripted_sleep_and_wake_on_node() {
+        let mut s = ScriptedScheduler::new().sleep_after(1, NodeId(5), WakeCondition::AfterNode(NodeId(9)));
+        assert!(s.is_awake(1, 0));
+        s.on_complete(1, NodeId(5), 1);
+        assert!(!s.is_awake(1, 2));
+        // Someone else completes node 9: processor 1 wakes.
+        s.on_complete(0, NodeId(9), 3);
+        assert!(s.is_awake(1, 4));
+    }
+
+    #[test]
+    fn scripted_sleep_until_step_and_never() {
+        let mut s = ScriptedScheduler::new()
+            .sleep_after(0, NodeId(1), WakeCondition::AtStep(10))
+            .sleep_after(1, NodeId(2), WakeCondition::Never);
+        s.on_complete(0, NodeId(1), 0);
+        s.on_complete(1, NodeId(2), 0);
+        assert!(!s.is_awake(0, 5));
+        assert!(s.is_awake(0, 10));
+        assert!(!s.is_awake(1, 1_000_000));
+    }
+
+    #[test]
+    fn scripted_wake_when_stalled_wakes_one_at_a_time() {
+        let mut s = ScriptedScheduler::new()
+            .sleep_after(0, NodeId(1), WakeCondition::WhenStalled)
+            .sleep_after(1, NodeId(2), WakeCondition::WhenStalled);
+        s.on_complete(0, NodeId(1), 0);
+        s.on_complete(1, NodeId(2), 0);
+        assert!(!s.is_awake(0, 1));
+        assert!(!s.is_awake(1, 1));
+        s.on_stalled(2);
+        assert!(s.is_awake(0, 3), "lowest-numbered sleeper wakes first");
+        assert!(!s.is_awake(1, 3));
+        s.on_stalled(4);
+        assert!(s.is_awake(1, 5));
+    }
+
+    #[test]
+    fn initially_asleep_until_node() {
+        let mut s = ScriptedScheduler::new().initially_asleep(2, WakeCondition::AfterNode(NodeId(4)));
+        assert!(!s.is_awake(2, 0));
+        assert!(s.is_awake(0, 0));
+        s.on_complete(0, NodeId(4), 1);
+        assert!(s.is_awake(2, 2));
+    }
+
+    #[test]
+    fn scripted_victim_preferences() {
+        let mut s = ScriptedScheduler::new().prefer_victims(2, vec![7, 5]);
+        assert_eq!(s.choose_victim(2, &[4, 5, 6]), Some(5));
+        assert_eq!(s.choose_victim(2, &[4, 6]), Some(4), "falls back to first");
+        let mut strict = ScriptedScheduler::new()
+            .prefer_victims(2, vec![7])
+            .strict_victims();
+        assert_eq!(strict.choose_victim(2, &[4, 6]), None);
+        // Thieves without preferences behave greedily.
+        assert_eq!(s.choose_victim(0, &[4, 6]), Some(4));
+    }
+}

@@ -1,0 +1,204 @@
+//! The sequential (single-processor) execution.
+//!
+//! The baseline against which both cache misses and deviations are counted
+//! is the execution of the DAG by a *single* processor running the same
+//! parsimonious work-stealing scheduler (and the same fork policy): at a
+//! fork it executes one child and pushes the other onto its deque, and when
+//! it runs out of ready successors it pops the bottom of its deque.
+
+use crate::policy::ForkPolicy;
+use crate::ready::{schedule_enabled, ReadyTracker};
+use crate::report::SeqReport;
+use wsf_cache::{CachePolicy, CacheSim};
+use wsf_dag::{Dag, NodeId};
+use wsf_deque::SimDeque;
+
+/// Executes a computation DAG on one simulated processor.
+#[derive(Copy, Clone, Debug)]
+pub struct SequentialExecutor {
+    fork_policy: ForkPolicy,
+    cache_policy: CachePolicy,
+    cache_lines: usize,
+}
+
+impl SequentialExecutor {
+    /// Creates an executor with the given fork policy, an LRU cache and the
+    /// default number of cache lines (8).
+    pub fn new(fork_policy: ForkPolicy) -> Self {
+        SequentialExecutor {
+            fork_policy,
+            cache_policy: CachePolicy::Lru,
+            cache_lines: 8,
+        }
+    }
+
+    /// Sets the number of cache lines `C`.
+    pub fn with_cache_lines(mut self, lines: usize) -> Self {
+        self.cache_lines = lines;
+        self
+    }
+
+    /// Sets the cache replacement policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// The fork policy used at forks.
+    pub fn fork_policy(&self) -> ForkPolicy {
+        self.fork_policy
+    }
+
+    /// Runs the sequential execution and returns its node order and cache
+    /// statistics.
+    ///
+    /// # Panics
+    /// Panics if the execution does not visit every node, which indicates a
+    /// malformed DAG (builder-produced DAGs always complete).
+    pub fn run(&self, dag: &Dag) -> SeqReport {
+        let mut tracker = ReadyTracker::new(dag);
+        let mut deque: SimDeque<NodeId> = SimDeque::new();
+        let mut cache = CacheSim::new(self.cache_policy, self.cache_lines);
+        let mut order = Vec::with_capacity(dag.num_nodes());
+
+        let mut current = Some(dag.root());
+        while let Some(node) = current {
+            debug_assert!(tracker.is_ready(node), "executing a non-ready node");
+            cache.access_opt(dag.block_of(node).map(|b| b.0));
+            order.push(node);
+
+            let enabled = tracker.complete(dag, node);
+            let cont = schedule_enabled(dag, node, &enabled, self.fork_policy);
+            if let Some(push) = cont.push {
+                deque.push_bottom(push);
+            }
+            current = cont.next.or_else(|| deque.pop_bottom());
+        }
+
+        assert_eq!(
+            tracker.executed_count(),
+            dag.num_nodes(),
+            "sequential execution did not reach every node"
+        );
+        SeqReport {
+            order,
+            cache: cache.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_dag::{Block, DagBuilder};
+
+    /// The paper's Figure 4-style DAG: two nested futures, each touched by
+    /// the main thread after the corresponding fork's right child.
+    fn nested_two_futures() -> Dag {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        let f1 = b.fork(main);
+        b.chain(f1.future_thread, 2);
+        let f2 = b.fork(main);
+        b.chain(f2.future_thread, 2);
+        b.task(main);
+        b.touch_thread(main, f2.future_thread);
+        b.touch_thread(main, f1.future_thread);
+        b.task(main);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn visits_every_node_exactly_once() {
+        let dag = nested_two_futures();
+        for policy in ForkPolicy::ALL {
+            let report = SequentialExecutor::new(policy).run(&dag);
+            assert_eq!(report.order.len(), dag.num_nodes());
+            let mut sorted: Vec<_> = report.order.iter().map(|n| n.index()).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), dag.num_nodes());
+            // Execution order must respect dependencies.
+            let mut pos = vec![usize::MAX; dag.num_nodes()];
+            for (i, n) in report.order.iter().enumerate() {
+                pos[n.index()] = i;
+            }
+            for id in dag.node_ids() {
+                for e in dag.node(id).out_edges() {
+                    assert!(pos[id.index()] < pos[e.node.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn future_first_dives_into_the_future_thread() {
+        let dag = nested_two_futures();
+        let report = SequentialExecutor::new(ForkPolicy::FutureFirst).run(&dag);
+        let fork = dag.forks().next().unwrap();
+        let left = dag.left_child(fork).unwrap();
+        let right = dag.right_child(fork).unwrap();
+        let pos = |n: NodeId| report.order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(left) < pos(right), "future thread runs before the parent continuation");
+    }
+
+    #[test]
+    fn parent_first_defers_the_future_thread() {
+        let dag = nested_two_futures();
+        let report = SequentialExecutor::new(ForkPolicy::ParentFirst).run(&dag);
+        let fork = dag.forks().next().unwrap();
+        let left = dag.left_child(fork).unwrap();
+        let right = dag.right_child(fork).unwrap();
+        let pos = |n: NodeId| report.order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(right) < pos(left), "parent continuation runs before the future thread");
+    }
+
+    #[test]
+    fn lemma4_future_parent_before_local_parent() {
+        // Lemma 4: under future-first, every touch's future parent executes
+        // before its local parent, and the fork's right child immediately
+        // follows the future thread's last node.
+        let dag = nested_two_futures();
+        let report = SequentialExecutor::new(ForkPolicy::FutureFirst).run(&dag);
+        let pos = |n: NodeId| report.order.iter().position(|&x| x == n).unwrap();
+        for touch in dag.touches() {
+            let fp = dag.future_parent(touch).unwrap();
+            let lp = dag.local_parent(touch).unwrap();
+            assert!(pos(fp) < pos(lp), "future parent executes first");
+            let fork = dag.corresponding_fork(touch).unwrap();
+            let right = dag.right_child(fork).unwrap();
+            let last_of_future = dag.thread(dag.future_thread_of_touch(touch).unwrap()).last();
+            assert_eq!(
+                pos(right),
+                pos(last_of_future) + 1,
+                "right child immediately follows the future thread"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_counts_reflect_blocks() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        // Access blocks 0,1,0,1 with a 2-line cache: 2 misses, 2 hits.
+        for blk in [0u32, 1, 0, 1] {
+            b.task_block(main, Block(blk));
+        }
+        let dag = b.finish().unwrap();
+        let report = SequentialExecutor::new(ForkPolicy::FutureFirst)
+            .with_cache_lines(2)
+            .run(&dag);
+        assert_eq!(report.cache.misses, 2);
+        assert_eq!(report.cache.hits, 2);
+        // The root and final nodes have no block: counted as silent.
+        assert_eq!(report.cache.silent as usize, dag.num_nodes() - 4);
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let e = SequentialExecutor::new(ForkPolicy::ParentFirst)
+            .with_cache_lines(32)
+            .with_cache_policy(CachePolicy::Fifo);
+        assert_eq!(e.fork_policy(), ForkPolicy::ParentFirst);
+    }
+}

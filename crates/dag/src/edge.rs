@@ -1,0 +1,108 @@
+//! Edge types of the computation DAG.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// The three kinds of dependency edges in a future-parallel computation DAG.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeKind {
+    /// Points from one node to the next node of the same thread.
+    Continuation,
+    /// Points from a fork node to the first node of the future thread it
+    /// spawns (also called a *spawn* edge).
+    Future,
+    /// Points from a node of one thread (the *future parent*) to a touch
+    /// node of another thread (also called a *join* edge).
+    Touch,
+}
+
+impl EdgeKind {
+    /// Short label used in DOT output and trace rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Continuation => "cont",
+            EdgeKind::Future => "future",
+            EdgeKind::Touch => "touch",
+        }
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A directed edge to (or from) a node, tagged with its kind.
+///
+/// [`crate::Dag`] stores, for every node, the list of outgoing `Edge`s (the
+/// `node` field is the target) and the list of incoming `Edge`s (the `node`
+/// field is the source).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Edge {
+    /// The other endpoint of the edge.
+    pub node: NodeId,
+    /// The edge kind.
+    pub kind: EdgeKind,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, kind: EdgeKind) -> Self {
+        Edge { node, kind }
+    }
+
+    /// True if this is a continuation edge.
+    pub fn is_continuation(&self) -> bool {
+        self.kind == EdgeKind::Continuation
+    }
+
+    /// True if this is a future (spawn) edge.
+    pub fn is_future(&self) -> bool {
+        self.kind == EdgeKind::Future
+    }
+
+    /// True if this is a touch (join) edge.
+    pub fn is_touch(&self) -> bool {
+        self.kind == EdgeKind::Touch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(EdgeKind::Continuation.label(), "cont");
+        assert_eq!(EdgeKind::Future.label(), "future");
+        assert_eq!(EdgeKind::Touch.label(), "touch");
+        assert_eq!(EdgeKind::Touch.to_string(), "touch");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let e = Edge::new(NodeId(1), EdgeKind::Future);
+        assert!(e.is_future());
+        assert!(!e.is_continuation());
+        assert!(!e.is_touch());
+
+        let e = Edge::new(NodeId(2), EdgeKind::Continuation);
+        assert!(e.is_continuation());
+
+        let e = Edge::new(NodeId(3), EdgeKind::Touch);
+        assert!(e.is_touch());
+    }
+
+    #[test]
+    fn edges_compare_by_value() {
+        assert_eq!(
+            Edge::new(NodeId(1), EdgeKind::Touch),
+            Edge::new(NodeId(1), EdgeKind::Touch)
+        );
+        assert_ne!(
+            Edge::new(NodeId(1), EdgeKind::Touch),
+            Edge::new(NodeId(1), EdgeKind::Future)
+        );
+    }
+}

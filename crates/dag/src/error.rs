@@ -1,0 +1,101 @@
+//! Errors reported while building or validating a computation DAG.
+
+use crate::ids::{NodeId, ThreadId};
+use std::fmt;
+
+/// Errors produced by [`crate::DagBuilder`] and [`crate::Dag::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A thread id referenced a thread that does not exist.
+    UnknownThread(ThreadId),
+    /// A node exceeded the paper's degree convention (in/out degree at most
+    /// 2, except a super final node's in-degree).
+    DegreeViolation {
+        /// Offending node.
+        node: NodeId,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A touch edge was requested from a node that already supplies its
+    /// maximum number of outgoing edges.
+    TouchSourceUnavailable(NodeId),
+    /// The DAG contains a cycle (should be impossible with the builder, but
+    /// validation checks anyway).
+    CycleDetected,
+    /// A non-main thread's last node has no outgoing touch edge, so the
+    /// thread is not synchronized with the rest of the computation.
+    UnsynchronizedThread(ThreadId),
+    /// A child of a fork is a touch node, which the paper's convention
+    /// forbids ("the children of a fork both have in-degree 1 and cannot be
+    /// touches").
+    ForkChildIsTouch {
+        /// The fork node.
+        fork: NodeId,
+        /// The offending child.
+        child: NodeId,
+    },
+    /// The root node is not the unique node with in-degree 0, or the final
+    /// node is not the unique node with out-degree 0.
+    RootOrFinalShape(String),
+    /// A build operation was attempted on a thread that has been sealed
+    /// (its last node already carries its synchronizing touch edge).
+    ThreadSealed(ThreadId),
+    /// The builder finished with an empty computation.
+    EmptyDag,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            DagError::UnknownThread(t) => write!(f, "unknown thread {t}"),
+            DagError::DegreeViolation { node, detail } => {
+                write!(f, "degree violation at {node}: {detail}")
+            }
+            DagError::TouchSourceUnavailable(n) => {
+                write!(f, "node {n} cannot supply another outgoing touch edge")
+            }
+            DagError::CycleDetected => write!(f, "computation graph contains a cycle"),
+            DagError::UnsynchronizedThread(t) => write!(
+                f,
+                "thread {t} has no outgoing touch edge from its last node"
+            ),
+            DagError::ForkChildIsTouch { fork, child } => write!(
+                f,
+                "child {child} of fork {fork} is a touch node, which the model forbids"
+            ),
+            DagError::RootOrFinalShape(detail) => write!(f, "root/final shape violation: {detail}"),
+            DagError::ThreadSealed(t) => write!(f, "thread {t} is sealed and cannot grow"),
+            DagError::EmptyDag => write!(f, "computation DAG has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = DagError::UnknownNode(NodeId(7));
+        assert!(e.to_string().contains("n7"));
+        let e = DagError::UnsynchronizedThread(ThreadId(3));
+        assert!(e.to_string().contains("t3"));
+        let e = DagError::ForkChildIsTouch {
+            fork: NodeId(1),
+            child: NodeId(2),
+        };
+        assert!(e.to_string().contains("n1"));
+        assert!(e.to_string().contains("n2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&DagError::CycleDetected);
+    }
+}

@@ -1,0 +1,168 @@
+//! Strongly-typed identifiers for nodes, threads and memory blocks.
+//!
+//! All identifiers are thin wrappers around `u32` indices into the arrays
+//! owned by [`crate::Dag`]. Using newtypes keeps the different index spaces
+//! from being mixed up and keeps the in-memory representation compact (the
+//! worst-case DAGs of the paper grow to millions of nodes in the sweeps).
+
+use std::fmt;
+
+/// Identifier of a node (task) in a computation DAG.
+///
+/// Nodes represent unit tasks: "one or more instructions" in the paper's
+/// model, each accessing at most one memory [`Block`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a thread: a maximal chain of nodes connected by
+/// continuation edges.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+/// Identifier of a memory block.
+///
+/// In the paper's cache model each instruction accesses at most one memory
+/// block and each cache line holds exactly one block, so blocks are the unit
+/// of cache occupancy.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Block(pub u32);
+
+impl NodeId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index overflows u32"))
+    }
+}
+
+impl ThreadId {
+    /// The main thread always has id 0: it begins at the root node and ends
+    /// at the final node.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ThreadId` from a raw index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ThreadId(u32::try_from(index).expect("thread index overflows u32"))
+    }
+
+    /// Whether this is the main thread.
+    #[inline]
+    pub fn is_main(self) -> bool {
+        self == Self::MAIN
+    }
+}
+
+impl Block {
+    /// Returns the raw block number.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for Block {
+    fn from(value: u32) -> Self {
+        Block(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+    }
+
+    #[test]
+    fn thread_id_main_is_zero() {
+        assert_eq!(ThreadId::MAIN.index(), 0);
+        assert!(ThreadId::MAIN.is_main());
+        assert!(!ThreadId(3).is_main());
+    }
+
+    #[test]
+    fn block_from_u32() {
+        let b: Block = 7u32.into();
+        assert_eq!(b.index(), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ThreadId(1).to_string(), "t1");
+        assert_eq!(Block(9).to_string(), "m9");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ThreadId(0) < ThreadId(1));
+        assert!(Block(5) > Block(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index overflows u32")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,135 @@
+//! Helpers for assigning memory blocks to DAG nodes.
+//!
+//! The cache-locality experiments of the paper are driven entirely by which
+//! memory block each node accesses. The worst-case constructions use very
+//! specific assignments (e.g. a chain of `C` nodes touching blocks
+//! `m1..mC`); application workloads use simpler patterns such as per-thread
+//! working sets. This module centralizes those patterns.
+
+use crate::builder::DagBuilder;
+use crate::ids::{Block, NodeId, ThreadId};
+
+/// A monotonically increasing allocator of fresh memory blocks.
+#[derive(Clone, Debug, Default)]
+pub struct BlockAlloc {
+    next: u32,
+}
+
+impl BlockAlloc {
+    /// Creates an allocator whose first block is `m0`.
+    pub fn new() -> Self {
+        BlockAlloc { next: 0 }
+    }
+
+    /// Creates an allocator whose first block is `m{start}`.
+    pub fn starting_at(start: u32) -> Self {
+        BlockAlloc { next: start }
+    }
+
+    /// Allocates one fresh block.
+    pub fn fresh(&mut self) -> Block {
+        let b = Block(self.next);
+        self.next += 1;
+        b
+    }
+
+    /// Allocates `n` fresh consecutive blocks.
+    pub fn fresh_n(&mut self, n: usize) -> Vec<Block> {
+        (0..n).map(|_| self.fresh()).collect()
+    }
+
+    /// The number of blocks allocated so far (assuming a zero start).
+    pub fn allocated(&self) -> u32 {
+        self.next
+    }
+}
+
+/// Appends to `thread` a chain of nodes accessing `blocks` in forward order
+/// and returns the appended node ids.
+pub fn chain_forward(builder: &mut DagBuilder, thread: ThreadId, blocks: &[Block]) -> Vec<NodeId> {
+    builder.chain_blocks(thread, blocks)
+}
+
+/// Appends to `thread` a chain of nodes accessing `blocks` in reverse order
+/// (the `Z_i` chains of Figure 6 access `mC, m(C-1), ..., m1`).
+pub fn chain_reverse(builder: &mut DagBuilder, thread: ThreadId, blocks: &[Block]) -> Vec<NodeId> {
+    let reversed: Vec<Block> = blocks.iter().rev().copied().collect();
+    builder.chain_blocks(thread, &reversed)
+}
+
+/// Assigns `block` to every node in `nodes`.
+pub fn assign_all(builder: &mut DagBuilder, nodes: &[NodeId], block: Block) {
+    for &n in nodes {
+        builder.set_block(n, block);
+    }
+}
+
+/// Assigns blocks round-robin from `blocks` to `nodes`.
+pub fn assign_round_robin(builder: &mut DagBuilder, nodes: &[NodeId], blocks: &[Block]) {
+    if blocks.is_empty() {
+        return;
+    }
+    for (i, &n) in nodes.iter().enumerate() {
+        builder.set_block(n, blocks[i % blocks.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_produces_distinct_blocks() {
+        let mut a = BlockAlloc::new();
+        let b1 = a.fresh();
+        let b2 = a.fresh();
+        assert_ne!(b1, b2);
+        assert_eq!(a.allocated(), 2);
+        let more = a.fresh_n(3);
+        assert_eq!(more.len(), 3);
+        assert_eq!(a.allocated(), 5);
+        assert_eq!(more[2], Block(4));
+    }
+
+    #[test]
+    fn alloc_starting_at_offsets_blocks() {
+        let mut a = BlockAlloc::starting_at(100);
+        assert_eq!(a.fresh(), Block(100));
+        assert_eq!(a.fresh(), Block(101));
+    }
+
+    #[test]
+    fn chains_and_assignment() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        let mut alloc = BlockAlloc::new();
+        let blocks = alloc.fresh_n(4);
+
+        let fwd = chain_forward(&mut b, main, &blocks);
+        let rev = chain_reverse(&mut b, main, &blocks);
+
+        let extra = vec![b.task(main), b.task(main), b.task(main)];
+        assign_all(&mut b, &extra, Block(99));
+
+        let rr_nodes = vec![b.task(main), b.task(main), b.task(main), b.task(main)];
+        assign_round_robin(&mut b, &rr_nodes, &blocks[..2]);
+
+        // Also exercise the empty-blocks no-op path.
+        assign_round_robin(&mut b, &rr_nodes, &[]);
+
+        let dag = b.finish().unwrap();
+        for (i, &n) in fwd.iter().enumerate() {
+            assert_eq!(dag.block_of(n), Some(blocks[i]));
+        }
+        for (i, &n) in rev.iter().enumerate() {
+            assert_eq!(dag.block_of(n), Some(blocks[blocks.len() - 1 - i]));
+        }
+        for &n in &extra {
+            assert_eq!(dag.block_of(n), Some(Block(99)));
+        }
+        assert_eq!(dag.block_of(rr_nodes[0]), Some(blocks[0]));
+        assert_eq!(dag.block_of(rr_nodes[1]), Some(blocks[1]));
+        assert_eq!(dag.block_of(rr_nodes[2]), Some(blocks[0]));
+        assert_eq!(dag.block_of(rr_nodes[3]), Some(blocks[1]));
+    }
+}

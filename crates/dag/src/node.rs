@@ -1,0 +1,223 @@
+//! Per-node data stored by the DAG.
+
+use crate::edge::{Edge, EdgeKind};
+use crate::ids::{Block, NodeId, ThreadId};
+
+/// Data stored for a single node (unit task) of the computation DAG.
+///
+/// A node belongs to exactly one thread, optionally accesses one memory
+/// block, and carries its incoming and outgoing edges. Degrees are at most
+/// two for every node except a *super final node* (see
+/// [`crate::Dag::has_super_final_node`]), which may have arbitrary
+/// in-degree.
+#[derive(Clone, Debug)]
+pub struct NodeData {
+    thread: ThreadId,
+    block: Option<Block>,
+    /// Weight of the node in time steps (default 1). The simulator charges
+    /// this many steps to execute the node; the paper's model uses unit
+    /// tasks, so anything other than 1 is an extension.
+    weight: u32,
+    out_edges: Vec<Edge>,
+    in_edges: Vec<Edge>,
+}
+
+impl NodeData {
+    /// Creates a fresh node belonging to `thread` with no edges.
+    pub(crate) fn new(thread: ThreadId) -> Self {
+        NodeData {
+            thread,
+            block: None,
+            weight: 1,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        }
+    }
+
+    /// The thread this node belongs to.
+    #[inline]
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The memory block this node accesses, if any.
+    #[inline]
+    pub fn block(&self) -> Option<Block> {
+        self.block
+    }
+
+    /// Execution weight in simulator time steps (1 for the paper's model).
+    #[inline]
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// Outgoing edges, in insertion order.
+    #[inline]
+    pub fn out_edges(&self) -> &[Edge] {
+        &self.out_edges
+    }
+
+    /// Incoming edges, in insertion order.
+    #[inline]
+    pub fn in_edges(&self) -> &[Edge] {
+        &self.in_edges
+    }
+
+    /// Out-degree of the node.
+    #[inline]
+    pub fn out_degree(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// In-degree of the node.
+    #[inline]
+    pub fn in_degree(&self) -> usize {
+        self.in_edges.len()
+    }
+
+    /// The continuation successor (next node of the same thread), if any.
+    pub fn continuation_successor(&self) -> Option<NodeId> {
+        self.out_edges
+            .iter()
+            .find(|e| e.kind == EdgeKind::Continuation)
+            .map(|e| e.node)
+    }
+
+    /// The continuation predecessor (previous node of the same thread), if
+    /// any.
+    pub fn continuation_predecessor(&self) -> Option<NodeId> {
+        self.in_edges
+            .iter()
+            .find(|e| e.kind == EdgeKind::Continuation)
+            .map(|e| e.node)
+    }
+
+    /// The future (spawn) successor, i.e. the first node of the thread this
+    /// node forks, if this node is a fork.
+    pub fn future_successor(&self) -> Option<NodeId> {
+        self.out_edges
+            .iter()
+            .find(|e| e.kind == EdgeKind::Future)
+            .map(|e| e.node)
+    }
+
+    /// The touch successors: touch nodes whose value this node supplies.
+    pub fn touch_successors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Touch)
+            .map(|e| e.node)
+    }
+
+    /// The touch predecessor (the *future parent*) of this node, if this
+    /// node is a touch.
+    pub fn touch_predecessor(&self) -> Option<NodeId> {
+        self.in_edges
+            .iter()
+            .find(|e| e.kind == EdgeKind::Touch)
+            .map(|e| e.node)
+    }
+
+    /// Whether the node is a fork: it has an outgoing future edge.
+    #[inline]
+    pub fn is_fork(&self) -> bool {
+        self.out_edges.iter().any(|e| e.kind == EdgeKind::Future)
+    }
+
+    /// Whether the node is a touch (or join) node: it has an incoming touch
+    /// edge.
+    #[inline]
+    pub fn is_touch(&self) -> bool {
+        self.in_edges.iter().any(|e| e.kind == EdgeKind::Touch)
+    }
+
+    /// Whether the node is a future parent: it has an outgoing touch edge.
+    #[inline]
+    pub fn is_future_parent(&self) -> bool {
+        self.out_edges.iter().any(|e| e.kind == EdgeKind::Touch)
+    }
+
+    pub(crate) fn set_block(&mut self, block: Option<Block>) {
+        self.block = block;
+    }
+
+    pub(crate) fn set_weight(&mut self, weight: u32) {
+        self.weight = weight.max(1);
+    }
+
+    pub(crate) fn push_out(&mut self, edge: Edge) {
+        self.out_edges.push(edge);
+    }
+
+    pub(crate) fn push_in(&mut self, edge: Edge) {
+        self.in_edges.push(edge);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_with_edges() -> NodeData {
+        let mut n = NodeData::new(ThreadId(2));
+        n.push_out(Edge::new(NodeId(5), EdgeKind::Continuation));
+        n.push_out(Edge::new(NodeId(9), EdgeKind::Future));
+        n.push_in(Edge::new(NodeId(1), EdgeKind::Continuation));
+        n
+    }
+
+    #[test]
+    fn fresh_node_has_no_edges() {
+        let n = NodeData::new(ThreadId(1));
+        assert_eq!(n.thread(), ThreadId(1));
+        assert_eq!(n.block(), None);
+        assert_eq!(n.weight(), 1);
+        assert_eq!(n.out_degree(), 0);
+        assert_eq!(n.in_degree(), 0);
+        assert!(!n.is_fork());
+        assert!(!n.is_touch());
+        assert!(!n.is_future_parent());
+    }
+
+    #[test]
+    fn successor_queries() {
+        let n = node_with_edges();
+        assert_eq!(n.continuation_successor(), Some(NodeId(5)));
+        assert_eq!(n.future_successor(), Some(NodeId(9)));
+        assert_eq!(n.continuation_predecessor(), Some(NodeId(1)));
+        assert!(n.is_fork());
+        assert_eq!(n.touch_successors().count(), 0);
+    }
+
+    #[test]
+    fn touch_queries() {
+        let mut n = NodeData::new(ThreadId(0));
+        n.push_in(Edge::new(NodeId(3), EdgeKind::Touch));
+        n.push_in(Edge::new(NodeId(2), EdgeKind::Continuation));
+        assert!(n.is_touch());
+        assert_eq!(n.touch_predecessor(), Some(NodeId(3)));
+        assert_eq!(n.continuation_predecessor(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn future_parent_query() {
+        let mut n = NodeData::new(ThreadId(0));
+        n.push_out(Edge::new(NodeId(7), EdgeKind::Touch));
+        assert!(n.is_future_parent());
+        assert_eq!(n.touch_successors().collect::<Vec<_>>(), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn block_and_weight_setters() {
+        let mut n = NodeData::new(ThreadId(0));
+        n.set_block(Some(Block(4)));
+        assert_eq!(n.block(), Some(Block(4)));
+        n.set_block(None);
+        assert_eq!(n.block(), None);
+        n.set_weight(0);
+        assert_eq!(n.weight(), 1, "weight is clamped to at least 1");
+        n.set_weight(10);
+        assert_eq!(n.weight(), 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-thread data stored by the DAG.
+
+use crate::ids::{NodeId, ThreadId};
+
+/// Data stored for a single thread of the computation DAG.
+///
+/// A thread is a maximal chain of nodes connected by continuation edges.
+/// The main thread ([`ThreadId::MAIN`]) begins at the root node and ends at
+/// the final node; every other thread begins at a node with an incoming
+/// future edge from its parent thread's fork node.
+#[derive(Clone, Debug)]
+pub struct ThreadData {
+    id: ThreadId,
+    parent: Option<ThreadId>,
+    fork: Option<NodeId>,
+    nodes: Vec<NodeId>,
+}
+
+impl ThreadData {
+    pub(crate) fn new(id: ThreadId, parent: Option<ThreadId>, fork: Option<NodeId>) -> Self {
+        ThreadData {
+            id,
+            parent,
+            fork,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// This thread's identifier.
+    #[inline]
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The parent thread that spawned this thread (`None` for the main
+    /// thread).
+    #[inline]
+    pub fn parent(&self) -> Option<ThreadId> {
+        self.parent
+    }
+
+    /// The fork node (in the parent thread) that spawned this thread
+    /// (`None` for the main thread).
+    #[inline]
+    pub fn fork(&self) -> Option<NodeId> {
+        self.fork
+    }
+
+    /// The thread's nodes in continuation order.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The first node of the thread.
+    ///
+    /// # Panics
+    /// Panics if the thread has no nodes yet (only possible mid-build).
+    #[inline]
+    pub fn first(&self) -> NodeId {
+        *self.nodes.first().expect("thread has no nodes")
+    }
+
+    /// The last node of the thread.
+    ///
+    /// # Panics
+    /// Panics if the thread has no nodes yet (only possible mid-build).
+    #[inline]
+    pub fn last(&self) -> NodeId {
+        *self.nodes.last().expect("thread has no nodes")
+    }
+
+    /// Number of nodes in the thread.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the thread has no nodes (only possible mid-build).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub(crate) fn push_node(&mut self, node: NodeId) {
+        self.nodes.push(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_thread_has_no_parent() {
+        let t = ThreadData::new(ThreadId::MAIN, None, None);
+        assert_eq!(t.id(), ThreadId::MAIN);
+        assert_eq!(t.parent(), None);
+        assert_eq!(t.fork(), None);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn nodes_in_order() {
+        let mut t = ThreadData::new(ThreadId(1), Some(ThreadId::MAIN), Some(NodeId(3)));
+        t.push_node(NodeId(4));
+        t.push_node(NodeId(5));
+        t.push_node(NodeId(8));
+        assert_eq!(t.first(), NodeId(4));
+        assert_eq!(t.last(), NodeId(8));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.nodes(), &[NodeId(4), NodeId(5), NodeId(8)]);
+        assert_eq!(t.parent(), Some(ThreadId::MAIN));
+        assert_eq!(t.fork(), Some(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "thread has no nodes")]
+    fn first_on_empty_thread_panics() {
+        let t = ThreadData::new(ThreadId(1), Some(ThreadId::MAIN), Some(NodeId(0)));
+        let _ = t.first();
+    }
+}

@@ -1,0 +1,273 @@
+//! Structural validation of computation DAGs.
+//!
+//! [`validate`] checks the invariants of the paper's DAG model (Section 2.1)
+//! that every other crate in the workspace relies on. The builder cannot
+//! produce most of these violations, but validation documents the contract
+//! and guards against future mutation APIs.
+
+use crate::dag::Dag;
+use crate::edge::EdgeKind;
+use crate::error::DagError;
+use crate::ids::ThreadId;
+
+/// Validates the structural invariants of `dag`.
+///
+/// Checked invariants:
+///
+/// 1. node-id order is a topological order (all edges point forward);
+/// 2. the root is the unique node with in-degree 0 and the final node is the
+///    unique node with out-degree 0;
+/// 3. every node has at most one continuation successor, one continuation
+///    predecessor, one future successor and one incoming touch edge (the
+///    final node may have more incoming touch edges when the DAG has a super
+///    final node);
+/// 4. in-degree and out-degree are at most 2 (again excepting a super final
+///    node's in-degree);
+/// 5. continuation edges stay within one thread, future and touch edges
+///    connect distinct threads;
+/// 6. thread bookkeeping is consistent: a thread's nodes form exactly the
+///    continuation chain from its first to its last node, and its fork node
+///    (for non-main threads) is in the parent thread and points at the
+///    thread's first node with a future edge;
+/// 7. no child of a fork is a touch node.
+pub fn validate(dag: &Dag) -> Result<(), DagError> {
+    validate_degrees(dag)?;
+    validate_root_final(dag)?;
+    validate_threads(dag)?;
+    validate_fork_children(dag)?;
+    Ok(())
+}
+
+fn validate_degrees(dag: &Dag) -> Result<(), DagError> {
+    for id in dag.node_ids() {
+        let n = dag.node(id);
+        for e in n.out_edges() {
+            if e.node.index() <= id.index() {
+                return Err(DagError::CycleDetected);
+            }
+        }
+        let cont_out = n.out_edges().iter().filter(|e| e.is_continuation()).count();
+        let fut_out = n.out_edges().iter().filter(|e| e.is_future()).count();
+        let cont_in = n.in_edges().iter().filter(|e| e.is_continuation()).count();
+        let fut_in = n.in_edges().iter().filter(|e| e.is_future()).count();
+        let touch_in = n.in_edges().iter().filter(|e| e.is_touch()).count();
+
+        let is_super_final = dag.has_super_final_node() && id == dag.final_node();
+
+        if cont_out > 1 || fut_out > 1 {
+            return Err(DagError::DegreeViolation {
+                node: id,
+                detail: "more than one continuation or future successor".to_string(),
+            });
+        }
+        if cont_in > 1 || fut_in > 1 {
+            return Err(DagError::DegreeViolation {
+                node: id,
+                detail: "more than one continuation or future predecessor".to_string(),
+            });
+        }
+        if touch_in > 1 && !is_super_final {
+            return Err(DagError::DegreeViolation {
+                node: id,
+                detail: "touched by more than one future".to_string(),
+            });
+        }
+        if n.out_degree() > 2 {
+            return Err(DagError::DegreeViolation {
+                node: id,
+                detail: format!("out-degree {} exceeds 2", n.out_degree()),
+            });
+        }
+        if n.in_degree() > 2 && !is_super_final {
+            return Err(DagError::DegreeViolation {
+                node: id,
+                detail: format!("in-degree {} exceeds 2", n.in_degree()),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate_root_final(dag: &Dag) -> Result<(), DagError> {
+    for id in dag.node_ids() {
+        let n = dag.node(id);
+        if n.in_degree() == 0 && id != dag.root() {
+            return Err(DagError::RootOrFinalShape(format!(
+                "{id} has in-degree 0 but is not the root"
+            )));
+        }
+        if n.out_degree() == 0 && id != dag.final_node() {
+            return Err(DagError::RootOrFinalShape(format!(
+                "{id} has out-degree 0 but is not the final node"
+            )));
+        }
+    }
+    if dag.node(dag.root()).in_degree() != 0 {
+        return Err(DagError::RootOrFinalShape(
+            "root has incoming edges".to_string(),
+        ));
+    }
+    if dag.node(dag.final_node()).out_degree() != 0 {
+        return Err(DagError::RootOrFinalShape(
+            "final node has outgoing edges".to_string(),
+        ));
+    }
+    if dag.node(dag.root()).thread() != ThreadId::MAIN
+        || dag.node(dag.final_node()).thread() != ThreadId::MAIN
+    {
+        return Err(DagError::RootOrFinalShape(
+            "root and final node must belong to the main thread".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn validate_threads(dag: &Dag) -> Result<(), DagError> {
+    for tid in dag.thread_ids() {
+        let t = dag.thread(tid);
+        if t.is_empty() {
+            return Err(DagError::UnknownThread(tid));
+        }
+        // Continuation chain from first to last covers exactly t.nodes().
+        let mut cur = t.first();
+        for (i, &expect) in t.nodes().iter().enumerate() {
+            if cur != expect {
+                return Err(DagError::DegreeViolation {
+                    node: expect,
+                    detail: format!("thread {tid} nodes out of continuation order"),
+                });
+            }
+            if dag.node(cur).thread() != tid {
+                return Err(DagError::DegreeViolation {
+                    node: cur,
+                    detail: format!("node belongs to {}, listed under {tid}", dag.node(cur).thread()),
+                });
+            }
+            if i + 1 < t.len() {
+                cur = dag.node(cur).continuation_successor().ok_or_else(|| {
+                    DagError::DegreeViolation {
+                        node: cur,
+                        detail: format!("thread {tid} chain broken"),
+                    }
+                })?;
+            }
+        }
+        // Parent/fork bookkeeping.
+        match (tid.is_main(), t.parent(), t.fork()) {
+            (true, None, None) => {}
+            (false, Some(parent), Some(fork)) => {
+                if dag.node(fork).thread() != parent {
+                    return Err(DagError::DegreeViolation {
+                        node: fork,
+                        detail: format!("fork of {tid} does not belong to parent {parent}"),
+                    });
+                }
+                if dag.node(fork).future_successor() != Some(t.first()) {
+                    return Err(DagError::DegreeViolation {
+                        node: fork,
+                        detail: format!("fork of {tid} does not spawn its first node"),
+                    });
+                }
+            }
+            _ => {
+                return Err(DagError::RootOrFinalShape(format!(
+                    "thread {tid} has inconsistent parent/fork bookkeeping"
+                )))
+            }
+        }
+        // Continuation edges must not leave the thread.
+        for &n in t.nodes() {
+            if let Some(succ) = dag.node(n).continuation_successor() {
+                if dag.node(succ).thread() != tid {
+                    return Err(DagError::DegreeViolation {
+                        node: n,
+                        detail: "continuation edge crosses threads".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_fork_children(dag: &Dag) -> Result<(), DagError> {
+    for fork in dag.forks() {
+        for e in dag.node(fork).out_edges() {
+            if matches!(e.kind, EdgeKind::Continuation | EdgeKind::Future)
+                && dag.node(e.node).is_touch()
+            {
+                return Err(DagError::ForkChildIsTouch {
+                    fork,
+                    child: e.node,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    #[test]
+    fn builder_dags_validate() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        let f1 = b.fork(main);
+        b.chain(f1.future_thread, 2);
+        let f2 = b.fork(main);
+        b.chain(f2.future_thread, 3);
+        b.task(main);
+        b.touch_thread(main, f2.future_thread);
+        b.touch_thread(main, f1.future_thread);
+        let dag = b.finish().unwrap();
+        assert!(validate(&dag).is_ok());
+    }
+
+    #[test]
+    fn super_final_dags_validate() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        for _ in 0..4 {
+            let f = b.fork(main);
+            b.chain(f.future_thread, 2);
+            b.task(main);
+        }
+        let dag = b.finish_with_super_final().unwrap();
+        assert!(validate(&dag).is_ok());
+        assert!(dag.node(dag.final_node()).in_degree() > 2);
+    }
+
+    #[test]
+    fn tampered_dag_fails_cycle_check() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        b.chain(main, 3);
+        let mut dag = b.finish().unwrap();
+        // Manually create a back edge to simulate corruption.
+        use crate::edge::{Edge, EdgeKind};
+        let last = dag.final_node();
+        dag.nodes[last.index()].push_out(Edge::new(crate::ids::NodeId(0), EdgeKind::Continuation));
+        dag.nodes[0].push_in(Edge::new(last, EdgeKind::Continuation));
+        assert!(matches!(
+            validate(&dag),
+            Err(DagError::CycleDetected) | Err(DagError::DegreeViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_finish_skips_sync_but_validation_still_checks_shape() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        let f = b.fork(main);
+        b.task(f.future_thread);
+        b.task(main);
+        // finish_lenient tolerates the unsynchronized future thread, which
+        // leaves that thread's last node with out-degree 0 alongside the
+        // final node; shape validation must reject that.
+        let result = b.finish_lenient();
+        assert!(matches!(result, Err(DagError::RootOrFinalShape(_))));
+    }
+}

@@ -1,0 +1,532 @@
+//! A lock-free Chase–Lev work-stealing deque.
+//!
+//! This is an implementation of the dynamic circular work-stealing deque of
+//! Chase and Lev (SPAA 2005), with the C11-memory-model orderings from Lê,
+//! Pop, Cohen and Zappa Nardelli (PPoPP 2013). The owning worker pushes and
+//! pops at the *bottom*; any number of stealers take from the *top*.
+//!
+//! # Memory reclamation
+//!
+//! When the circular buffer grows, concurrent stealers may still be reading
+//! from the old buffer. Instead of a full epoch/hazard-pointer scheme, old
+//! buffers are *retired* into a list owned by the shared state and freed
+//! only when the deque itself is dropped. A deque grows O(log n) times for
+//! n pushed items, so the retained memory is at most twice the peak buffer
+//! size — a standard and simple way to make the algorithm safe.
+//!
+//! # Safety argument (summary)
+//!
+//! * Only the single `Worker` writes `bottom` and writes into slots at
+//!   index `bottom`; stealers only read slots in `[top, bottom)`.
+//! * A slot is handed out at most once: the owner claims the last element
+//!   with a CAS on `top` against racing stealers, and a stealer claims the
+//!   top element with the same CAS; whoever loses forgets the value it
+//!   speculatively read, so no double drop can occur.
+//! * Values are only dropped (a) after being won by exactly one side, or
+//!   (b) in `Drop` for the remaining range `[top, bottom)`.
+
+use crossbeam_utils::CachePadded;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Initial buffer capacity (must be a power of two).
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity circular buffer of possibly-uninitialized slots.
+///
+/// The slots are accessed exclusively through raw pointers so that
+/// concurrent readers (stealers holding a reference to a retired buffer)
+/// and the single writer never create aliasing `&mut` references.
+struct Buffer<T> {
+    ptr: *mut MaybeUninit<T>,
+    cap: usize,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let mut storage: Vec<MaybeUninit<T>> = Vec::with_capacity(cap);
+        // SAFETY: MaybeUninit<T> does not require initialization; setting the
+        // length only exposes uninitialized slots, which are never read
+        // before being written.
+        unsafe {
+            storage.set_len(cap);
+        }
+        let ptr = Box::into_raw(storage.into_boxed_slice()) as *mut MaybeUninit<T>;
+        Box::new(Buffer { ptr, cap })
+    }
+
+    #[inline]
+    fn mask(&self, index: isize) -> usize {
+        (index as usize) & (self.cap - 1)
+    }
+
+    /// Reads the slot at `index`.
+    ///
+    /// # Safety
+    /// The slot must contain a valid `T` that the caller is entitled to
+    /// duplicate-read (the caller must `forget` the copy if it loses the
+    /// ownership race).
+    #[inline]
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = self.ptr.add(self.mask(index));
+        ptr::read(slot).assume_init()
+    }
+
+    /// Writes `value` into the slot at `index`.
+    ///
+    /// # Safety
+    /// The caller must be the unique writer of that slot (the owning
+    /// worker) and the slot must currently be logically empty.
+    #[inline]
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = self.ptr.add(self.mask(index));
+        ptr::write(slot, MaybeUninit::new(value));
+    }
+}
+
+impl<T> Drop for Buffer<T> {
+    fn drop(&mut self) {
+        // SAFETY: `ptr` was produced by `Box::into_raw` on a boxed slice of
+        // exactly `cap` slots. Dropping the boxed slice releases the memory
+        // without dropping any `T` (the slots are `MaybeUninit`); live
+        // elements are dropped by `Inner::drop` beforehand.
+        unsafe {
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.ptr, self.cap,
+            )));
+        }
+    }
+}
+
+struct Inner<T> {
+    top: CachePadded<AtomicIsize>,
+    bottom: CachePadded<AtomicIsize>,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by `grow`, kept alive until the deque is dropped so
+    /// in-flight stealers can still read from them.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the deque transfers `T` values across threads, so `T: Send` is
+// required; the synchronization of the control words is handled by atomics.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buf_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: we have exclusive access during drop; the live elements
+        // are exactly those in [top, bottom) of the current buffer.
+        unsafe {
+            let buf = &*buf_ptr;
+            let mut i = top;
+            while i < bottom {
+                drop(buf.read(i));
+                i += 1;
+            }
+            drop(Box::from_raw(buf_ptr));
+        }
+        for &old in self.retired.lock().expect("retired lock poisoned").iter() {
+            // SAFETY: retired buffers are no longer referenced by anyone
+            // once the deque is being dropped; their elements were either
+            // consumed or copied into a newer buffer.
+            unsafe {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// The result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// The steal lost a race and should be retried (possibly against a
+    /// different victim).
+    Retry,
+    /// A task was stolen.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// The owner side of a Chase–Lev deque: may push and pop at the bottom.
+///
+/// `Worker` is `Send` but deliberately not `Sync`/`Clone`: exactly one
+/// thread may own it at a time, which is what makes the single-writer
+/// protocol sound.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Makes `Worker` non-Sync: the algorithm requires a unique owner.
+    _marker: PhantomData<Cell<()>>,
+}
+
+/// The thief side of a Chase–Lev deque: may steal from the top. Cloneable
+/// and shareable across threads.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a new empty deque, returning its unique worker handle and a
+/// cloneable stealer handle.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let buffer = Box::into_raw(Buffer::<T>::new(MIN_CAP));
+    let inner = Arc::new(Inner {
+        top: CachePadded::new(AtomicIsize::new(0)),
+        bottom: CachePadded::new(AtomicIsize::new(0)),
+        buffer: AtomicPtr::new(buffer),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _marker: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Pushes a task at the bottom of the deque.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+
+        // SAFETY: only the worker mutates `bottom` and the buffer pointer,
+        // so the loaded buffer is the current one from its point of view.
+        unsafe {
+            if b - t >= (*buf).cap as isize {
+                buf = self.grow(b, t, buf);
+            }
+            (*buf).write(b, value);
+        }
+        // Publish the write before making the slot visible to stealers.
+        fence(Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pops a task from the bottom of the deque (most recently pushed
+    /// first).
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+
+        if t > b {
+            // Deque was empty; restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+
+        // SAFETY: the slot at index b holds a valid element: it was written
+        // by a previous push and, because t <= b, it has not been stolen.
+        // If this is the last element we may lose the race below, in which
+        // case we forget the copy.
+        let value = unsafe { (*buf).read(b) };
+        if t == b {
+            // Single element left: race against stealers via CAS on top.
+            let won = inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            if won {
+                Some(value)
+            } else {
+                // A stealer got it; it owns the element now.
+                std::mem::forget(value);
+                None
+            }
+        } else {
+            Some(value)
+        }
+    }
+
+    /// A snapshot of the number of queued tasks (exact only when no
+    /// concurrent operations are in flight).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates another stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Doubles the buffer, copying the live range `[t, b)`, retiring the old
+    /// buffer, and returns the new buffer pointer.
+    ///
+    /// # Safety
+    /// Must only be called by the owning worker with `old` being the
+    /// current buffer and `[t, b)` the live range.
+    unsafe fn grow(&self, b: isize, t: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let new = Buffer::<T>::new(((*old).cap * 2).max(MIN_CAP));
+        let mut i = t;
+        while i < b {
+            // Copy (bitwise) each live element into the new buffer. The old
+            // buffer keeps its bytes so racing stealers can still read them;
+            // ownership races are still resolved by the CAS on `top`.
+            let value = (*old).read(i);
+            new.write(i, value);
+            i += 1;
+        }
+        let new_ptr = Box::into_raw(new);
+        self.inner.buffer.store(new_ptr, Ordering::Release);
+        self.inner
+            .retired
+            .lock()
+            .expect("retired lock poisoned")
+            .push(old);
+        new_ptr
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempts to steal the oldest task from the top of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+
+        if t >= b {
+            return Steal::Empty;
+        }
+
+        let buf = inner.buffer.load(Ordering::Acquire);
+        // SAFETY: speculative read of slot t; if the CAS below fails, some
+        // other party claimed it and we forget our copy. If the buffer was
+        // swapped concurrently, the old buffer is still alive (retired, not
+        // freed), so the read stays in-bounds of live memory.
+        let value = unsafe { (*buf).read(t) };
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(value)
+        } else {
+            std::mem::forget(value);
+            Steal::Retry
+        }
+    }
+
+    /// Keeps stealing until it either succeeds or observes an empty deque.
+    pub fn steal_until_resolved(&self) -> Option<T> {
+        loop {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+
+    /// A snapshot of the number of queued tasks.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let (w, s) = deque::<u32>();
+        for i in 0..10 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 10);
+        assert_eq!(s.steal().success(), Some(0));
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(9));
+        assert_eq!(w.pop(), Some(8));
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let (w, s) = deque::<String>();
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+        w.push("x".to_string());
+        assert_eq!(w.pop(), Some("x".to_string()));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn growth_beyond_initial_capacity() {
+        let (w, s) = deque::<usize>();
+        let n = MIN_CAP * 5;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        // Steal half, pop half, verify the full set is recovered once each.
+        let mut seen = HashSet::new();
+        for _ in 0..n / 2 {
+            seen.insert(s.steal_until_resolved().unwrap());
+        }
+        while let Some(v) = w.pop() {
+            assert!(seen.insert(v), "value {v} delivered twice");
+        }
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn drop_releases_remaining_elements() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (w, _s) = deque::<Counted>();
+            for _ in 0..17 {
+                w.push(Counted);
+            }
+            drop(w.pop()); // one dropped here
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn steal_enum_helpers() {
+        let s: Steal<u32> = Steal::Empty;
+        assert!(s.is_empty());
+        let s: Steal<u32> = Steal::Retry;
+        assert!(s.is_retry());
+        assert_eq!(s.success(), None);
+        assert_eq!(Steal::Success(7).success(), Some(7));
+    }
+
+    #[test]
+    fn concurrent_stress_no_loss_no_duplication() {
+        // One producer/consumer worker thread and several stealers hammer
+        // the deque; every pushed value must be received exactly once.
+        const PER_ROUND: usize = 2_000;
+        const ROUNDS: usize = 5;
+        const THIEVES: usize = 3;
+
+        let (w, s) = deque::<usize>();
+        let received: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            let stealer_handles: Vec<_> = (0..THIEVES)
+                .map(|_| {
+                    let s = s.clone();
+                    let received = &received;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => {
+                                    if v == usize::MAX {
+                                        break;
+                                    }
+                                    local.push(v);
+                                }
+                                Steal::Empty | Steal::Retry => std::thread::yield_now(),
+                            }
+                        }
+                        received.lock().unwrap().extend(local);
+                    })
+                })
+                .collect();
+
+            let mut local = Vec::new();
+            for round in 0..ROUNDS {
+                for i in 0..PER_ROUND {
+                    w.push(round * PER_ROUND + i);
+                }
+                // Pop roughly half back locally.
+                for _ in 0..PER_ROUND / 2 {
+                    if let Some(v) = w.pop() {
+                        local.push(v);
+                    }
+                }
+            }
+            // Drain whatever is left, then send one poison pill per thief.
+            while let Some(v) = w.pop() {
+                local.push(v);
+            }
+            for _ in 0..THIEVES {
+                w.push(usize::MAX);
+            }
+            for h in stealer_handles {
+                h.join().unwrap();
+            }
+            received.lock().unwrap().extend(local);
+        });
+
+        let mut all = received.into_inner().unwrap();
+        let expected = PER_ROUND * ROUNDS;
+        assert_eq!(all.len(), expected, "every pushed value arrives exactly once");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), expected, "no duplicates");
+    }
+}

@@ -1,0 +1,131 @@
+//! A deterministic deque with the work-stealing bottom/top interface.
+//!
+//! The execution simulator in `wsf-core` models every processor's deque
+//! explicitly and must be fully deterministic and inspectable (the proofs
+//! reason about "the node right below the right child of v in the deque").
+//! This type is a thin wrapper over `VecDeque` exposing exactly the
+//! operations of the parsimonious scheduler: `push_bottom`, `pop_bottom`
+//! and `steal_top`.
+
+use std::collections::VecDeque;
+
+/// A deterministic double-ended queue used by the scheduler simulator.
+///
+/// The *bottom* is where the owning processor pushes and pops; the *top* is
+/// where thieves steal.
+#[derive(Clone, Debug, Default)]
+pub struct SimDeque<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> SimDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        SimDeque {
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Pushes an item at the bottom (owner side).
+    pub fn push_bottom(&mut self, item: T) {
+        self.items.push_back(item);
+    }
+
+    /// Pops the most recently pushed item from the bottom (owner side).
+    pub fn pop_bottom(&mut self) -> Option<T> {
+        self.items.pop_back()
+    }
+
+    /// Steals the oldest item from the top (thief side).
+    pub fn steal_top(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The item a thief would steal next, without removing it.
+    pub fn peek_top(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// The item the owner would pop next, without removing it.
+    pub fn peek_bottom(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates from top (oldest) to bottom (newest).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes every item.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_side_is_lifo() {
+        let mut d = SimDeque::new();
+        d.push_bottom(1);
+        d.push_bottom(2);
+        d.push_bottom(3);
+        assert_eq!(d.pop_bottom(), Some(3));
+        assert_eq!(d.pop_bottom(), Some(2));
+        assert_eq!(d.pop_bottom(), Some(1));
+        assert_eq!(d.pop_bottom(), None);
+    }
+
+    #[test]
+    fn thief_side_is_fifo() {
+        let mut d = SimDeque::new();
+        d.push_bottom(1);
+        d.push_bottom(2);
+        d.push_bottom(3);
+        assert_eq!(d.steal_top(), Some(1));
+        assert_eq!(d.steal_top(), Some(2));
+        assert_eq!(d.steal_top(), Some(3));
+        assert_eq!(d.steal_top(), None);
+    }
+
+    #[test]
+    fn mixed_operations_preserve_order() {
+        let mut d = SimDeque::new();
+        d.push_bottom('a');
+        d.push_bottom('b');
+        assert_eq!(d.steal_top(), Some('a'));
+        d.push_bottom('c');
+        assert_eq!(d.pop_bottom(), Some('c'));
+        assert_eq!(d.peek_top(), Some(&'b'));
+        assert_eq!(d.peek_bottom(), Some(&'b'));
+        assert_eq!(d.pop_bottom(), Some('b'));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iteration_and_clear() {
+        let mut d = SimDeque::new();
+        for i in 0..5 {
+            d.push_bottom(i);
+        }
+        let collected: Vec<i32> = d.iter().copied().collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.len(), 5);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.peek_top(), None);
+        assert_eq!(d.peek_bottom(), None);
+    }
+}

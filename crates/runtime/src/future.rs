@@ -1,0 +1,144 @@
+//! Single-touch futures.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// The shared completion slot of a future.
+pub(crate) struct FutureState<T> {
+    slot: Mutex<Slot<T>>,
+    cond: Condvar,
+}
+
+enum Slot<T> {
+    Pending,
+    Done(T),
+    Taken,
+}
+
+impl<T> FutureState<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(FutureState {
+            slot: Mutex::new(Slot::Pending),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Stores the computed value and wakes any blocked toucher.
+    ///
+    /// # Panics
+    /// Panics if the future was already completed (each future body runs
+    /// exactly once).
+    pub(crate) fn complete(&self, value: T) {
+        let mut slot = self.slot.lock();
+        match *slot {
+            Slot::Pending => *slot = Slot::Done(value),
+            _ => panic!("future completed twice"),
+        }
+        drop(slot);
+        self.cond.notify_all();
+    }
+
+    /// Whether the value has been produced (and not yet taken).
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(*self.slot.lock(), Slot::Done(_))
+    }
+
+    /// Takes the value if it is ready.
+    pub(crate) fn try_take(&self) -> Option<T> {
+        let mut slot = self.slot.lock();
+        if matches!(*slot, Slot::Done(_)) {
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Done(v) => Some(v),
+                _ => unreachable!(),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Blocks the calling thread until the value is ready and takes it.
+    pub(crate) fn wait_take(&self) -> T {
+        let mut slot = self.slot.lock();
+        loop {
+            if matches!(*slot, Slot::Done(_)) {
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Done(v) => return v,
+                    _ => unreachable!(),
+                }
+            }
+            self.cond.wait(&mut slot);
+        }
+    }
+}
+
+/// A handle to the result of an asynchronous computation spawned on the
+/// [`crate::Runtime`].
+///
+/// The paper's *single-touch* discipline is enforced statically:
+/// [`Future::touch`] consumes the handle, so a future can be touched at most
+/// once, by whichever thread the handle has been passed to — exactly the
+/// structured use of futures (Definition 2) for which Theorem 8 guarantees
+/// good cache locality under the child-first policy.
+#[must_use = "a future that is never touched is never synchronized with"]
+pub struct Future<T> {
+    pub(crate) state: Arc<FutureState<T>>,
+    pub(crate) runtime: Arc<crate::pool::Inner>,
+}
+
+impl<T: Send + 'static> Future<T> {
+    /// Whether the result is already available (touching would not block).
+    pub fn is_ready(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Waits for the result, helping to execute other runtime tasks while
+    /// it is not ready (work-stealing "help-first" waiting), and returns it.
+    ///
+    /// Consuming `self` makes a second touch a compile-time error.
+    pub fn touch(self) -> T {
+        crate::pool::Inner::touch(&self.runtime, &self.state)
+    }
+}
+
+impl<T> std::fmt::Debug for Future<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Future")
+            .field("ready", &self.state.is_done())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_then_take() {
+        let s = FutureState::new();
+        assert!(!s.is_done());
+        assert!(s.try_take().is_none());
+        s.complete(41);
+        assert!(s.is_done());
+        assert_eq!(s.try_take(), Some(41));
+        assert!(!s.is_done(), "taking empties the slot");
+        assert!(s.try_take().is_none());
+    }
+
+    #[test]
+    fn wait_take_blocks_until_complete() {
+        let s = FutureState::new();
+        let s2 = Arc::clone(&s);
+        let handle = std::thread::spawn(move || s2.wait_take());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.complete("done".to_string());
+        assert_eq!(handle.join().unwrap(), "done");
+    }
+
+    #[test]
+    #[should_panic(expected = "future completed twice")]
+    fn double_complete_panics() {
+        let s = FutureState::new();
+        s.complete(1);
+        s.complete(2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Spawn policies of the real runtime.
+
+/// How a worker schedules a newly created future relative to its own
+/// continuation.
+///
+/// This is the runtime counterpart of the simulator's
+/// `ForkPolicy`: the paper's *future-first* rule corresponds to running the
+/// spawned computation before the spawning thread's continuation
+/// (child-first / work-first), while *parent-first* corresponds to making
+/// the spawned computation stealable and continuing with the parent
+/// (helper-first / help-first).
+///
+/// A library runtime without compiler support cannot suspend and expose the
+/// parent continuation for stealing, so `ChildFirst` is realized by running
+/// the future body inline at creation when the local deque is shallow (the
+/// common depth-first case) and `HelperFirst` by always deferring the body
+/// to the deque. `Runtime::join` always uses the child-first discipline,
+/// exactly like Cilk's spawn/sync.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SpawnPolicy {
+    /// Run spawned futures eagerly (future-first / work-first).
+    ChildFirst,
+    /// Defer spawned futures to the deque and keep executing the parent
+    /// (parent-first / help-first).
+    HelperFirst,
+}
+
+impl SpawnPolicy {
+    /// All policies.
+    pub const ALL: [SpawnPolicy; 2] = [SpawnPolicy::ChildFirst, SpawnPolicy::HelperFirst];
+
+    /// Short label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpawnPolicy::ChildFirst => "child-first",
+            SpawnPolicy::HelperFirst => "helper-first",
+        }
+    }
+}
+
+impl Default for SpawnPolicy {
+    fn default() -> Self {
+        SpawnPolicy::ChildFirst
+    }
+}
+
+impl std::fmt::Display for SpawnPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(SpawnPolicy::ChildFirst.label(), "child-first");
+        assert_eq!(SpawnPolicy::HelperFirst.to_string(), "helper-first");
+        assert_eq!(SpawnPolicy::default(), SpawnPolicy::ChildFirst);
+        assert_eq!(SpawnPolicy::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,408 @@
+//! The work-stealing thread pool.
+
+use crate::future::{Future, FutureState};
+use crate::policy::SpawnPolicy;
+use crate::stats::{AtomicStats, RuntimeStats};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wsf_deque::{deque, Steal, Stealer, Worker};
+
+/// A unit of work queued on the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state of the pool, visible to every worker and to external
+/// threads holding futures.
+pub(crate) struct Inner {
+    stealers: Vec<Stealer<Task>>,
+    injector: Mutex<VecDeque<Task>>,
+    idle_mutex: Mutex<()>,
+    idle_cond: Condvar,
+    shutdown: AtomicBool,
+    policy: SpawnPolicy,
+    inline_depth_limit: usize,
+    pub(crate) stats: AtomicStats,
+}
+
+struct WorkerLocal {
+    inner: Arc<Inner>,
+    index: usize,
+    worker: Worker<Task>,
+    rng: RefCell<SmallRng>,
+    inline_depth: std::cell::Cell<usize>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<WorkerLocal>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the calling thread's worker context, if the calling thread
+/// is one of this pool's workers.
+fn with_worker<R>(inner: &Arc<Inner>, f: impl FnOnce(&WorkerLocal) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some(w) if Arc::ptr_eq(&w.inner, inner) => Some(f(w)),
+            _ => None,
+        }
+    })
+}
+
+impl Inner {
+    fn notify(&self) {
+        self.idle_cond.notify_all();
+    }
+
+    fn push_injector(&self, task: Task) {
+        self.injector.lock().push_back(task);
+        self.notify();
+    }
+
+    fn pop_injector(&self) -> Option<Task> {
+        self.injector.lock().pop_front()
+    }
+
+    /// Finds a task for the worker `index`: its own deque first, then the
+    /// global injector, then stealing from a random victim.
+    fn find_task(self: &Arc<Self>, local: &WorkerLocal) -> Option<Task> {
+        if let Some(t) = local.worker.pop() {
+            return Some(t);
+        }
+        if let Some(t) = self.pop_injector() {
+            return Some(t);
+        }
+        let n = self.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = local.rng.borrow_mut().gen_range(0..n);
+        let mut saw_retry = false;
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if victim == local.index {
+                continue;
+            }
+            loop {
+                match self.stealers[victim].steal() {
+                    Steal::Success(t) => {
+                        self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                    Steal::Retry => {
+                        saw_retry = true;
+                        continue;
+                    }
+                    Steal::Empty => break,
+                }
+            }
+        }
+        if !saw_retry {
+            self.stats.failed_steals.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    fn run_task(self: &Arc<Self>, task: Task) {
+        self.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        task();
+    }
+
+    /// The waiting side of [`Future::touch`]: help run tasks until the
+    /// future completes (on a worker thread), or block (elsewhere).
+    pub(crate) fn touch<T: Send + 'static>(inner: &Arc<Inner>, state: &Arc<FutureState<T>>) -> T {
+        inner.stats.touches.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = state.try_take() {
+            return v;
+        }
+        let on_worker = with_worker(inner, |_| ()).is_some();
+        if on_worker {
+            loop {
+                if let Some(v) = state.try_take() {
+                    return v;
+                }
+                let task = with_worker(inner, |local| inner.find_task(local)).flatten();
+                match task {
+                    Some(t) => {
+                        inner.stats.helped_tasks.fetch_add(1, Ordering::Relaxed);
+                        inner.run_task(t);
+                    }
+                    None => {
+                        if let Some(v) = state.try_take() {
+                            return v;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        } else {
+            state.wait_take()
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>, index: usize, worker: Worker<Task>) {
+        let local = WorkerLocal {
+            inner: Arc::clone(&self),
+            index,
+            worker,
+            rng: RefCell::new(SmallRng::seed_from_u64(0x9e3779b97f4a7c15 ^ index as u64)),
+            inline_depth: std::cell::Cell::new(0),
+        };
+        CURRENT.with(|c| *c.borrow_mut() = Some(local));
+
+        loop {
+            let task = CURRENT.with(|c| {
+                let borrow = c.borrow();
+                let local = borrow.as_ref().expect("worker context installed");
+                self.find_task(local)
+            });
+            match task {
+                Some(t) => self.run_task(t),
+                None => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let mut guard = self.idle_mutex.lock();
+                    // Re-check under the lock so a notify between the failed
+                    // find and this wait is not lost for long.
+                    if !self.shutdown.load(Ordering::Acquire) {
+                        self.idle_cond
+                            .wait_for(&mut guard, Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Configures and builds a [`Runtime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeBuilder {
+    threads: usize,
+    policy: SpawnPolicy,
+    inline_depth_limit: usize,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            policy: SpawnPolicy::ChildFirst,
+            inline_depth_limit: 128,
+        }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Sets the number of worker threads (`P`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the spawn policy.
+    pub fn policy(mut self, policy: SpawnPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets how deep child-first inline execution may nest before newly
+    /// created futures are deferred to the deque instead.
+    pub fn inline_depth_limit(mut self, limit: usize) -> Self {
+        self.inline_depth_limit = limit;
+        self
+    }
+
+    /// Builds the runtime, spawning its worker threads.
+    pub fn build(self) -> Runtime {
+        let mut workers = Vec::with_capacity(self.threads);
+        let mut stealers = Vec::with_capacity(self.threads);
+        for _ in 0..self.threads {
+            let (w, s) = deque::<Task>();
+            workers.push(w);
+            stealers.push(s);
+        }
+        let inner = Arc::new(Inner {
+            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            idle_mutex: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            policy: self.policy,
+            inline_depth_limit: self.inline_depth_limit,
+            stats: AtomicStats::default(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, worker)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("wsf-worker-{index}"))
+                    .spawn(move || inner.worker_loop(index, worker))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Runtime { inner, handles }
+    }
+}
+
+/// A work-stealing thread pool with structured single-touch futures.
+///
+/// ```
+/// use wsf_runtime::{Runtime, SpawnPolicy};
+///
+/// let rt = Runtime::builder().threads(2).policy(SpawnPolicy::ChildFirst).build();
+/// let f = rt.spawn_future(|| (1..=10).sum::<u64>());
+/// let (a, b) = rt.join(|| 2 + 2, || 3 * 3);
+/// assert_eq!(f.touch(), 55);
+/// assert_eq!((a, b), (4, 9));
+/// ```
+pub struct Runtime {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Creates a runtime with `threads` workers and the default
+    /// (child-first) policy.
+    pub fn new(threads: usize) -> Self {
+        Runtime::builder().threads(threads).build()
+    }
+
+    /// Returns a builder for finer configuration.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The configured spawn policy.
+    pub fn policy(&self) -> SpawnPolicy {
+        self.inner.policy
+    }
+
+    /// A snapshot of the runtime's counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Spawns `f` as a future and returns its single-touch handle.
+    ///
+    /// Under the child-first policy, a future created on a worker thread is
+    /// run immediately by that worker (up to a nesting limit), mirroring the
+    /// paper's future-first rule; under the helper-first policy it is pushed
+    /// onto the worker's deque, where other workers may steal it.
+    pub fn spawn_future<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.inner.stats.futures_created.fetch_add(1, Ordering::Relaxed);
+        let state = FutureState::new();
+
+        let run_inline = self.inner.policy == SpawnPolicy::ChildFirst
+            && with_worker(&self.inner, |local| {
+                let depth = local.inline_depth.get();
+                if depth < self.inner.inline_depth_limit {
+                    local.inline_depth.set(depth + 1);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+
+        if run_inline {
+            // Future-first: evaluate the future body now, on the creating
+            // worker, before the parent's continuation.
+            self.inner.stats.inline_runs.fetch_add(1, Ordering::Relaxed);
+            state.complete(f());
+            with_worker(&self.inner, |local| {
+                local.inline_depth.set(local.inline_depth.get() - 1);
+            });
+        } else {
+            let task_state = Arc::clone(&state);
+            let task: Task = Box::new(move || task_state.complete(f()));
+            self.push_task(task);
+        }
+
+        Future {
+            state,
+            runtime: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Runs `a` and `b`, potentially in parallel, and returns both results.
+    ///
+    /// `b` is made stealable while the calling thread runs `a` inline, then
+    /// the result of `b` is touched — the fork-join (spawn/sync) special
+    /// case of single-touch futures.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send + 'static,
+        B: FnOnce() -> RB + Send + 'static,
+        RA: Send + 'static,
+        RB: Send + 'static,
+    {
+        let fb = self.defer_future(b);
+        let ra = a();
+        let rb = fb.touch();
+        (ra, rb)
+    }
+
+    /// Spawns `f` as a deque task regardless of the spawn policy (always
+    /// stealable, never inline).
+    pub fn defer_future<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.inner.stats.futures_created.fetch_add(1, Ordering::Relaxed);
+        let state = FutureState::new();
+        let task_state = Arc::clone(&state);
+        let task: Task = Box::new(move || task_state.complete(f()));
+        self.push_task(task);
+        Future {
+            state,
+            runtime: Arc::clone(&self.inner),
+        }
+    }
+
+    fn push_task(&self, task: Task) {
+        let mut slot = Some(task);
+        let pushed = with_worker(&self.inner, |local| {
+            local
+                .worker
+                .push(slot.take().expect("task not yet consumed"));
+        });
+        match pushed {
+            Some(()) => self.inner.notify(),
+            None => self
+                .inner
+                .push_injector(slot.take().expect("task not pushed locally")),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.notify();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

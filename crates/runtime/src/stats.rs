@@ -1,0 +1,106 @@
+//! Runtime execution counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters updated by the workers.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    pub tasks_executed: AtomicU64,
+    pub steals: AtomicU64,
+    pub failed_steals: AtomicU64,
+    pub futures_created: AtomicU64,
+    pub touches: AtomicU64,
+    pub inline_runs: AtomicU64,
+    pub helped_tasks: AtomicU64,
+}
+
+impl AtomicStats {
+    pub(crate) fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            futures_created: self.futures_created.load(Ordering::Relaxed),
+            touches: self.touches.load(Ordering::Relaxed),
+            inline_runs: self.inline_runs.load(Ordering::Relaxed),
+            helped_tasks: self.helped_tasks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+///
+/// These are the observable analogues of the quantities the simulator
+/// counts exactly: steals correspond to potential deviations, and
+/// `inline_runs` counts futures executed by their creating worker without
+/// ever becoming stealable (perfect locality).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Deque/injector tasks executed by the workers.
+    pub tasks_executed: u64,
+    /// Successful steals between workers.
+    pub steals: u64,
+    /// Steal attempts that found every other deque empty.
+    pub failed_steals: u64,
+    /// Futures created.
+    pub futures_created: u64,
+    /// Futures touched.
+    pub touches: u64,
+    /// Futures run inline by their creator (child-first fast path).
+    pub inline_runs: u64,
+    /// Tasks executed while helping inside a touch.
+    pub helped_tasks: u64,
+}
+
+impl RuntimeStats {
+    /// Difference of two snapshots (`self` minus `earlier`), saturating.
+    pub fn since(&self, earlier: &RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            steals: self.steals.saturating_sub(earlier.steals),
+            failed_steals: self.failed_steals.saturating_sub(earlier.failed_steals),
+            futures_created: self.futures_created.saturating_sub(earlier.futures_created),
+            touches: self.touches.saturating_sub(earlier.touches),
+            inline_runs: self.inline_runs.saturating_sub(earlier.inline_runs),
+            helped_tasks: self.helped_tasks.saturating_sub(earlier.helped_tasks),
+        }
+    }
+
+    /// Fraction of created futures that were run inline by their creator.
+    pub fn inline_fraction(&self) -> f64 {
+        if self.futures_created == 0 {
+            0.0
+        } else {
+            self.inline_runs as f64 / self.futures_created as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let a = AtomicStats::default();
+        a.tasks_executed.store(10, Ordering::Relaxed);
+        a.steals.store(3, Ordering::Relaxed);
+        a.futures_created.store(4, Ordering::Relaxed);
+        a.inline_runs.store(2, Ordering::Relaxed);
+        let s1 = a.snapshot();
+        assert_eq!(s1.tasks_executed, 10);
+        assert_eq!(s1.steals, 3);
+        assert!((s1.inline_fraction() - 0.5).abs() < 1e-12);
+
+        a.tasks_executed.store(15, Ordering::Relaxed);
+        let s2 = a.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.tasks_executed, 5);
+        assert_eq!(d.steals, 0);
+    }
+
+    #[test]
+    fn inline_fraction_handles_zero() {
+        assert_eq!(RuntimeStats::default().inline_fraction(), 0.0);
+    }
+}

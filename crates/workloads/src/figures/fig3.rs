@@ -1,0 +1,73 @@
+//! Figure 3: an unstructured computation where a touch can be reached
+//! before the future thread computing its value has even been spawned.
+//!
+//! A thread spawned near the root touches futures that are created later,
+//! deeper in the main thread. Definition 1 is violated because the local
+//! parents of those touches are not descendants of the corresponding forks.
+
+use wsf_dag::{Block, Dag, DagBuilder};
+
+/// Builds the Figure 3-style unstructured DAG with `touches` early touches.
+///
+/// The returned DAG is valid (every thread is synchronized) but
+/// [`wsf_dag::classify`] reports it as unstructured.
+pub fn fig3(touches: usize) -> Dag {
+    let touches = touches.max(1);
+    let mut b = DagBuilder::new();
+    let main = b.main_thread();
+
+    // The early thread, spawned right below the root: it will touch futures
+    // created later by the main thread (the left subtree "x" of the paper's
+    // figure, which a thief can start executing immediately).
+    let early = b.fork(main);
+    b.task_block(early.future_thread, Block(0));
+
+    // The main thread creates the future threads afterwards.
+    let mut suppliers = Vec::new();
+    for i in 0..touches {
+        let f = b.fork(main);
+        b.task_block(f.future_thread, Block(i as u32 + 1));
+        b.chain(f.future_thread, 1);
+        suppliers.push(f.future_thread);
+        b.task(main);
+    }
+
+    // The early thread touches each of those futures (v1, v2, ... in the
+    // figure) even though it was spawned before any of them existed.
+    for s in suppliers {
+        b.touch_thread(early.future_thread, s);
+    }
+
+    // The main thread joins the early thread so the DAG is synchronized.
+    b.task(main);
+    b.touch_thread(main, early.future_thread);
+    b.task(main);
+    b.finish().expect("fig3 builds a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ForkPolicy, ParallelSimulator, SimConfig};
+    use wsf_dag::classify;
+
+    #[test]
+    fn fig3_is_unstructured() {
+        for touches in [1, 2, 5, 16] {
+            let dag = fig3(touches);
+            let class = classify(&dag);
+            assert!(class.is_unstructured(), "touches={touches}");
+            assert_eq!(dag.num_touches(), touches + 1);
+        }
+    }
+
+    #[test]
+    fn fig3_executes_under_both_policies() {
+        let dag = fig3(6);
+        for policy in ForkPolicy::ALL {
+            let report = ParallelSimulator::new(SimConfig::new(3, 4, policy)).run(&dag);
+            assert!(report.completed);
+            assert_eq!(report.executed(), dag.num_nodes() as u64);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 5: single-touch usage patterns that fork-join cannot express.
+//!
+//! * [`fig5a`] — *MethodA*: a thread creates several futures and touches
+//!   them in creation (FIFO) order, e.g. draining a priority queue. The
+//!   intervals cross, so this is not properly nested fork-join, but it is a
+//!   structured single-touch computation.
+//! * [`fig5b`] — *MethodB/MethodC*: a thread creates a future and passes it
+//!   to another thread, which performs the (single) touch.
+
+use wsf_dag::{Block, Dag, DagBuilder};
+
+/// Builds the MethodA pattern with `futures` futures touched in creation
+/// order.
+pub fn fig5a(futures: usize) -> Dag {
+    let futures = futures.max(2);
+    let mut b = DagBuilder::new();
+    let main = b.main_thread();
+    let mut threads = Vec::new();
+    for i in 0..futures {
+        let f = b.fork(main);
+        b.task_block(f.future_thread, Block(i as u32));
+        b.chain(f.future_thread, 1);
+        threads.push(f.future_thread);
+    }
+    b.task(main);
+    // Touch in creation order (fork-join would require reverse order).
+    for t in threads {
+        b.touch_thread(main, t);
+    }
+    b.task(main);
+    b.finish().expect("fig5a builds a valid DAG")
+}
+
+/// Builds the MethodB/MethodC pattern: future `x` is created by the main
+/// thread and passed to a helper thread, which touches it; the main thread
+/// touches only the helper.
+pub fn fig5b(work: usize) -> Dag {
+    let work = work.max(1);
+    let mut b = DagBuilder::new();
+    let main = b.main_thread();
+
+    // Future x.
+    let x = b.fork(main);
+    for i in 0..work {
+        b.task_block(x.future_thread, Block(i as u32));
+    }
+
+    // MethodC(x): a helper thread that touches x.
+    let helper = b.fork(main);
+    b.task(helper.future_thread);
+    b.touch_thread(helper.future_thread, x.future_thread);
+    for i in 0..work {
+        b.task_block(helper.future_thread, Block(100 + i as u32));
+    }
+
+    // The main thread continues and finally joins the helper.
+    b.task(main);
+    b.touch_thread(main, helper.future_thread);
+    b.task(main);
+    b.finish().expect("fig5b builds a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_dag::classify;
+
+    #[test]
+    fn fig5a_is_single_touch_but_not_fork_join() {
+        let dag = fig5a(4);
+        let class = classify(&dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert!(class.local_touch);
+        assert!(!class.fork_join, "FIFO touch order crosses intervals");
+    }
+
+    #[test]
+    fn fig5b_is_single_touch_but_not_local_touch() {
+        let dag = fig5b(3);
+        let class = classify(&dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert!(!class.local_touch, "x is touched by the helper, not its creator");
+        assert!(!class.fork_join);
+    }
+
+    #[test]
+    fn both_patterns_simulate_cleanly() {
+        use wsf_core::{ForkPolicy, ParallelSimulator, SimConfig};
+        for dag in [fig5a(6), fig5b(5)] {
+            let report =
+                ParallelSimulator::new(SimConfig::new(2, 8, ForkPolicy::FutureFirst)).run(&dag);
+            assert!(report.completed);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Figure 6: the future-first lower bound construction (Theorem 9).
+//!
+//! The proof of Theorem 9 builds, in three steps, a structured single-touch
+//! computation on which work stealing with the *future-first* policy can be
+//! forced to incur `Ω(P·T∞²)` deviations and `Ω(P·T∞²)` additional cache
+//! misses (while the sequential execution incurs only `O(P·T∞²/C)` misses):
+//!
+//! * **Figure 6(a)** — a gadget where a *single steal* causes `Ω(T∞)`
+//!   deviations (and, with the memory-block assignment of the proof,
+//!   `Ω(T∞)` additional misses): a chain of `k` future threads
+//!   `T₁, T₂, …`, where the touch of `Tᵢ` is *inside* `Tᵢ₊₁` (the
+//!   passed-future pattern of Figure 5(b), iterated). The adversary delays
+//!   `T₁` (the thread spawned first); the thief then executes all the
+//!   "head" halves of the `Tᵢ`, and every touch later resolves in the
+//!   wrong order.
+//! * **Figure 6(b)** — `m` copies of the gadget processed one after the
+//!   other by the same small set of processors, multiplying the deviations
+//!   by `m`.
+//! * **Figure 6(c)** — `n = P/3` independent copies of 6(b) spawned by a
+//!   binary tree, multiplying by `P`.
+//!
+//! This module reconstructs the gadget from the proof text (the original
+//! figure is a drawing). [`Fig6::gadget`] is the 6(a) analogue;
+//! [`Fig6::repeated`] chains `m` gadgets (6(b) analogue — note that the
+//! chaining used here nests the gadgets, so the span grows with `m`;
+//! `EXPERIMENTS.md` discusses how the measured counts map onto the
+//! theorem's `P·T∞²` form); [`Fig6::tree`] spawns independent gadgets below
+//! a binary tree (6(c) analogue). Each carries the scripted adversary of
+//! the proof.
+
+use wsf_core::{ForkPolicy, ScriptedScheduler, WakeCondition};
+use wsf_dag::{Block, Dag, DagBuilder, NodeId, ThreadId};
+
+/// A reconstruction of one of the Figure 6 constructions, together with the
+/// adversarial schedule from the proof of Theorem 9.
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// The computation DAG.
+    pub dag: Dag,
+    /// Number of stages `k` per gadget.
+    pub k: usize,
+    /// Length of the `Y`/`Z` chains (the proof uses `C`, the cache size).
+    pub chain: usize,
+    /// Number of gadgets (1 for the 6(a) gadget).
+    pub gadgets: usize,
+    /// Number of processors the adversary script expects.
+    pub processors: usize,
+    /// Nodes after which the gadget-starting processor must fall asleep
+    /// (the `v_j` forks of the w-threads).
+    sleep_points: Vec<NodeId>,
+}
+
+/// Key nodes of one gadget, used to assemble adversary scripts.
+struct GadgetNodes {
+    /// The fork of the delayed thread `T₁` (the proof's `v`): the processor
+    /// that executes it must fall asleep before running `w`.
+    v: NodeId,
+}
+
+impl Fig6 {
+    /// The fork policy Theorem 9 is about.
+    pub const POLICY: ForkPolicy = ForkPolicy::FutureFirst;
+
+    /// Builds the single-gadget construction (Figure 6(a)).
+    ///
+    /// `k` is the number of stages; `chain` is the length of the `Y`/`Z`
+    /// chains (use `1` for the pure deviation-counting variant and `C` for
+    /// the cache-miss variant; blocks are assigned exactly as in the proof:
+    /// `Y` chains access `m₁…m_C` forward, `Z` chains access them backward,
+    /// and the stage connectors access `m_{C+1}`).
+    pub fn gadget(k: usize, chain: usize) -> Fig6 {
+        let k = k.max(2);
+        let chain = chain.max(1);
+        let mut b = DagBuilder::new();
+        let nodes = build_gadget(&mut b, ThreadId::MAIN, k, chain, true);
+        b.task(ThreadId::MAIN);
+        let dag = b.finish().expect("fig6 gadget builds a valid DAG");
+        Fig6 {
+            dag,
+            k,
+            chain,
+            gadgets: 1,
+            processors: 2,
+            sleep_points: vec![nodes.v],
+        }
+    }
+
+    /// Builds `m` gadgets chained one after the other (the 6(b) analogue):
+    /// gadget `j+1` is spawned as a future thread at the end of gadget `j`,
+    /// so the same two processors replay the adversarial scenario `m` times.
+    pub fn repeated(m: usize, k: usize, chain: usize) -> Fig6 {
+        let m = m.max(1);
+        let k = k.max(2);
+        let chain = chain.max(1);
+        let mut b = DagBuilder::new();
+        let mut sleep_points = Vec::with_capacity(m);
+        let mut stack: Vec<(ThreadId, ThreadId)> = Vec::new();
+
+        let mut thread = ThreadId::MAIN;
+        for j in 0..m {
+            let nodes = build_gadget(&mut b, thread, k, chain, true);
+            sleep_points.push(nodes.v);
+            if j + 1 < m {
+                // Spawn the next gadget as a future thread and remember to
+                // touch it from this thread while unwinding.
+                let f = b.fork(thread);
+                b.task(thread); // right child of the chaining fork
+                stack.push((thread, f.future_thread));
+                thread = f.future_thread;
+            }
+        }
+        // Unwind: each spawning thread touches the gadget thread it spawned.
+        while let Some((parent, child)) = stack.pop() {
+            debug_assert_eq!(child.index(), thread.index());
+            b.touch_thread(parent, child);
+            thread = parent;
+        }
+        b.task(ThreadId::MAIN);
+        let dag = b.finish().expect("fig6 repeated builds a valid DAG");
+        Fig6 {
+            dag,
+            k,
+            chain,
+            gadgets: m,
+            processors: 2,
+            sleep_points,
+        }
+    }
+
+    /// Builds `n` independent gadgets spawned below a binary fork tree (the
+    /// 6(c) analogue). The adversary script expects `2·n` processors, one
+    /// holder/runner pair per gadget; with the default random scheduler it
+    /// serves as an expectation-style workload.
+    pub fn tree(n: usize, k: usize, chain: usize) -> Fig6 {
+        let n = n.max(1).next_power_of_two();
+        let k = k.max(2);
+        let chain = chain.max(1);
+        let mut b = DagBuilder::new();
+        let mut sleep_points = Vec::with_capacity(n);
+
+        // Binary tree of forks; each leaf thread hosts one gadget. Track
+        // the (parent, child) spawn pairs so every tree thread can be
+        // joined by its parent afterwards.
+        let mut frontier = vec![ThreadId::MAIN];
+        let mut spawned: Vec<(ThreadId, ThreadId)> = Vec::new();
+        while frontier.len() < n {
+            let mut next = Vec::with_capacity(frontier.len() * 2);
+            for t in frontier {
+                let f = b.fork(t);
+                b.task(t); // right child filler
+                spawned.push((t, f.future_thread));
+                next.push(f.future_thread);
+                next.push(t);
+            }
+            frontier = next;
+        }
+        for t in &frontier {
+            let nodes = build_gadget(&mut b, *t, k, chain, true);
+            sleep_points.push(nodes.v);
+        }
+        // Synchronize: every tree thread is joined by its parent, children
+        // first (reverse spawn order) so the parents' last nodes are final.
+        for &(parent, child) in spawned.iter().rev() {
+            b.touch_thread(parent, child);
+        }
+        b.task(ThreadId::MAIN);
+        let dag = b.finish().expect("fig6 tree builds a valid DAG");
+        Fig6 {
+            dag,
+            k,
+            chain,
+            gadgets: n,
+            processors: 2 * n,
+            sleep_points,
+        }
+    }
+
+    /// The scripted adversary of the proof: processor 0 falls asleep right
+    /// after forking each delayed thread (before executing its first node
+    /// `w`) and wakes once nobody else can make progress; processor 1 steals
+    /// only from processor 0.
+    ///
+    /// For the tree construction this script is a best-effort
+    /// generalization (pairs of processors are not pinned to subtrees); the
+    /// experiments additionally run the tree workload under the random
+    /// scheduler.
+    pub fn adversary(&self) -> ScriptedScheduler {
+        let mut s = ScriptedScheduler::new()
+            .prefer_victims(1, vec![0])
+            .strict_victims();
+        for &v in &self.sleep_points {
+            s = s.sleep_after(0, v, WakeCondition::WhenStalled);
+        }
+        s
+    }
+
+    /// The number of cache lines `C` the miss experiment should use so the
+    /// block assignment thrashes exactly as in the proof (equal to the
+    /// `Y`/`Z` chain length).
+    pub fn cache_lines(&self) -> usize {
+        self.chain.max(2)
+    }
+
+    /// The block accessed by the stage connectors (`m_{C+1}` in the proof).
+    pub fn spill_block(&self) -> Block {
+        Block(self.chain as u32)
+    }
+}
+
+/// Appends one Figure 6(a) gadget to `host` and returns its key nodes.
+///
+/// Structure (stages `i = 2..=k`):
+///
+/// ```text
+/// host:  v(fork T1)  b_1(fork T2)  b_2(fork T3) ... b_{k-1}(fork Tk)  c  x_k(touch Tk)
+/// T1:    w  w'                                   (delayed thread)
+/// T_i:   Y_i (chain)  x_{i-1}(touch T_{i-1})  Z_i (chain)
+/// ```
+///
+/// With blocks: `b_i` and `c` access `m_{C+1}`, `Y_i` accesses `m₁…m_C`
+/// forward, `Z_i` accesses them backward.
+fn build_gadget(
+    b: &mut DagBuilder,
+    host: ThreadId,
+    k: usize,
+    chain: usize,
+    with_blocks: bool,
+) -> GadgetNodes {
+    let spill = Block(chain as u32);
+
+    // v forks the delayed thread T1 (first node w).
+    let fv = b.fork(host);
+    let t1 = fv.future_thread;
+    b.chain(t1, 1); // w'
+
+    let mut prev = t1;
+    for _i in 2..=k {
+        let fb = b.fork(host);
+        if with_blocks {
+            b.set_block(fb.node, spill);
+        }
+        let ti = fb.future_thread;
+        // Head Y_i.
+        for j in 0..chain {
+            let n = b.task(ti);
+            if with_blocks {
+                b.set_block(n, Block(j as u32));
+            }
+        }
+        // x_{i-1}: the touch of the previous thread, inside this thread.
+        b.touch_thread(ti, prev);
+        // Tail Z_i (reverse block order).
+        for j in (0..chain).rev() {
+            let n = b.task(ti);
+            if with_blocks {
+                b.set_block(n, Block(j as u32));
+            }
+        }
+        prev = ti;
+    }
+
+    // c (connector) and the final touch x_k in the host thread.
+    let c = b.task(host);
+    if with_blocks {
+        b.set_block(c, spill);
+    }
+    b.touch_thread(host, prev);
+
+    GadgetNodes { v: fv.node }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ParallelSimulator, SimConfig};
+    use wsf_dag::{classify, span};
+
+    fn run_adversarial(fig: &Fig6, cache_lines: usize) -> (wsf_core::SeqReport, wsf_core::ExecutionReport) {
+        let config = SimConfig {
+            processors: fig.processors,
+            cache_lines,
+            fork_policy: Fig6::POLICY,
+            ..SimConfig::default()
+        };
+        let sim = ParallelSimulator::new(config);
+        let seq = sim.sequential(&fig.dag);
+        let mut adversary = fig.adversary();
+        let report = sim.run_against(&fig.dag, &seq, &mut adversary, false);
+        (seq, report)
+    }
+
+    #[test]
+    fn gadget_is_structured_single_touch() {
+        let fig = Fig6::gadget(6, 1);
+        let class = classify(&fig.dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert!(!class.local_touch, "the chained touches are passed futures");
+    }
+
+    #[test]
+    fn gadget_single_steal_causes_linear_deviations() {
+        // Figure 6(a): one steal, Θ(k) = Θ(T∞) deviations.
+        for k in [4usize, 8, 16, 32] {
+            let fig = Fig6::gadget(k, 1);
+            let (_, report) = run_adversarial(&fig, 4);
+            assert!(report.completed, "k={k}");
+            assert!(
+                report.steals() <= 2,
+                "the adversary performs essentially one steal, got {}",
+                report.steals()
+            );
+            let dev = report.deviations();
+            assert!(
+                dev as usize >= k - 1,
+                "k={k}: expected at least k-1 deviations, got {dev}"
+            );
+            assert!(
+                dev as usize <= 4 * k + 4,
+                "k={k}: deviations should be Θ(k), got {dev}"
+            );
+        }
+    }
+
+    #[test]
+    fn gadget_deviations_scale_linearly_with_span() {
+        let small = Fig6::gadget(8, 1);
+        let large = Fig6::gadget(32, 1);
+        let (_, rs) = run_adversarial(&small, 4);
+        let (_, rl) = run_adversarial(&large, 4);
+        let span_ratio = span(&large.dag) as f64 / span(&small.dag) as f64;
+        let dev_ratio = rl.deviations() as f64 / rs.deviations().max(1) as f64;
+        assert!(
+            dev_ratio > 0.5 * span_ratio && dev_ratio < 2.0 * span_ratio,
+            "deviations should scale like the span: span ratio {span_ratio:.2}, deviation ratio {dev_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn gadget_misses_variant_thrashes_the_thief() {
+        // Figure 6(a) with blocks: the adversarial execution incurs Ω(k·C)
+        // additional misses while the sequential one pays O(k + C).
+        let c = 8usize;
+        let k = 16usize;
+        let fig = Fig6::gadget(k, c);
+        let (seq, report) = run_adversarial(&fig, c);
+        assert!(report.completed);
+        let seq_misses = seq.cache_misses();
+        let extra = report.additional_misses(&seq);
+        assert!(
+            seq_misses as usize <= 4 * k + 2 * c + 4,
+            "sequential execution should be cheap, got {seq_misses}"
+        );
+        assert!(
+            extra as usize >= (k - 3) * (c - 2),
+            "adversarial execution should thrash: extra = {extra}, expected ≳ k·C = {}",
+            k * c
+        );
+    }
+
+    #[test]
+    fn repeated_gadgets_multiply_deviations() {
+        let k = 8usize;
+        let single = Fig6::gadget(k, 1);
+        let (_, r1) = run_adversarial(&single, 4);
+        for m in [2usize, 4] {
+            let fig = Fig6::repeated(m, k, 1);
+            assert!(classify(&fig.dag).is_structured_single_touch());
+            let (_, rm) = run_adversarial(&fig, 4);
+            assert!(rm.completed, "m={m}");
+            assert!(
+                rm.deviations() >= (m as u64 - 1) * r1.deviations() / 2,
+                "m={m}: expected roughly m times the single-gadget deviations, got {} vs single {}",
+                rm.deviations(),
+                r1.deviations()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_construction_is_valid_and_busy() {
+        let fig = Fig6::tree(4, 6, 1);
+        assert!(classify(&fig.dag).is_structured_single_touch());
+        let config = SimConfig {
+            processors: 8,
+            cache_lines: 4,
+            fork_policy: Fig6::POLICY,
+            ..SimConfig::default()
+        };
+        let report = ParallelSimulator::new(config).run(&fig.dag);
+        assert!(report.completed);
+        assert!(report.busy_processors() >= 2);
+    }
+}

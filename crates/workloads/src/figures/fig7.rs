@@ -1,0 +1,338 @@
+//! Figures 2 and 7: the parent-first amplification gadgets (Theorem 10).
+//!
+//! * [`Fig7a`] — the amplification gadget (also the content of Figure 2):
+//!   whether a single touch (`u3` in the paper) is ready when reached
+//!   decides between a cheap traversal (`O(C + n)` misses) and an expensive
+//!   one (`Ω(C·n)` misses, `Ω(n)` drifted joins), because the `y` joins get
+//!   interleaved with the `Z` chains and thrash the LRU cache.
+//! * [`Fig7b`] — a parity chain of futures `s₁ … s_k` whose touches `v_i`
+//!   alternate between ready and blocked under the parent-first sequential
+//!   execution; a *single steal* of `s₁` flips the parity of the entire
+//!   chain, so the Figure 7(a) gadget grafted at the end of the chain is
+//!   traversed expensively in the parallel execution while the sequential
+//!   execution traverses it cheaply.
+
+use wsf_core::{ForkPolicy, ScriptedScheduler, WakeCondition};
+use wsf_dag::{Block, Dag, DagBuilder, NodeId};
+
+/// The standalone Figure 7(a)/Figure 2 gadget.
+#[derive(Clone, Debug)]
+pub struct Fig7a {
+    /// The computation DAG.
+    pub dag: Dag,
+    /// Number of `Z`-chain stages `n`.
+    pub n: usize,
+    /// Length of each `Z` chain (the proof uses the cache size `C`).
+    pub chain: usize,
+    /// Whether the gate touch `u3` is blocked behind a delayed supplier
+    /// future (the expensive scenario) or plain (the cheap scenario).
+    pub blocked: bool,
+}
+
+impl Fig7a {
+    /// The fork policy Theorem 10 is about.
+    pub const POLICY: ForkPolicy = ForkPolicy::ParentFirst;
+
+    /// Builds the gadget. With `blocked = false` the gate node `u3` is an
+    /// ordinary node and the (sequential, parent-first) traversal is cheap;
+    /// with `blocked = true` `u3` touches a supplier future that the
+    /// scheduler only runs after the gate is reached, which inverts the
+    /// order of the `Z` chains and the `y` joins and thrashes the cache.
+    pub fn new(n: usize, chain: usize, blocked: bool) -> Fig7a {
+        let n = n.max(2);
+        let chain = chain.max(2);
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+
+        // Optional supplier future gating u3.
+        let supplier = if blocked {
+            let f = b.fork(main);
+            b.task(f.future_thread); // sup
+            Some(f.future_thread)
+        } else {
+            None
+        };
+
+        // u1 forks the s-thread whose touch v sits after the x forks.
+        let u1 = b.fork(main);
+        let s_thread = u1.future_thread;
+        // u2, u3 (gate), u4.
+        b.task(main);
+        if let Some(sup) = supplier {
+            b.touch_thread(main, sup); // u3 = touch of the supplier
+        } else {
+            b.task(main); // u3 = plain node
+        }
+        b.task(main); // u4
+
+        // x_1 .. x_n: forks of the Z-chain threads; x_i accesses m1.
+        let mut z_threads = Vec::with_capacity(n);
+        for _ in 0..n {
+            let fx = b.fork(main);
+            b.set_block(fx.node, Block(0));
+            for j in 0..chain {
+                let z = b.task(fx.future_thread);
+                b.set_block(z, Block(j as u32));
+            }
+            z_threads.push(fx.future_thread);
+        }
+
+        // A filler node (fork children cannot be touches), then v: the
+        // touch of the s-thread.
+        b.task(main);
+        b.touch_thread(main, s_thread);
+
+        // y_n .. y_1: joins of the Z threads, each accessing m_{C+1}.
+        for zt in z_threads.iter().rev() {
+            let y = b.join_thread(main, *zt);
+            b.set_block(y, Block(chain as u32));
+        }
+        b.task(main);
+        let dag = b.finish().expect("fig7a builds a valid DAG");
+        Fig7a {
+            dag,
+            n,
+            chain,
+            blocked,
+        }
+    }
+
+    /// The cache size `C` matching the block assignment.
+    pub fn cache_lines(&self) -> usize {
+        self.chain
+    }
+}
+
+/// The Figure 7(b) parity chain with the Figure 7(a) gadget grafted at the
+/// end, plus the single-steal adversary of the proof.
+#[derive(Clone, Debug)]
+pub struct Fig7b {
+    /// The computation DAG.
+    pub dag: Dag,
+    /// Chain length `k` (forced even, as the proof requires).
+    pub k: usize,
+    /// Number of `Z` stages `n` in the grafted gadget.
+    pub n: usize,
+    /// Length of each `Z` chain.
+    pub chain: usize,
+    /// The first future node `s₁`, which the thief steals.
+    pub s1: NodeId,
+    /// Number of processors the adversary expects.
+    pub processors: usize,
+}
+
+impl Fig7b {
+    /// The fork policy Theorem 10 is about.
+    pub const POLICY: ForkPolicy = ForkPolicy::ParentFirst;
+
+    /// Builds the chain-plus-gadget construction.
+    pub fn new(k: usize, n: usize, chain: usize) -> Fig7b {
+        let k = (k.max(2) + 1) & !1; // force even
+        let n = n.max(2);
+        let chain = chain.max(2);
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+
+        // r forks the first future s1. The s1 thread is a single node so
+        // that the thief finishes it strictly before the first gate's local
+        // parent runs (as in the proof, where p2 steals and runs s1
+        // "immediately"); otherwise the sleeping thief would end up holding
+        // the first touch and the execution could not complete.
+        let r = b.fork(main);
+        let mut s_threads = vec![r.future_thread];
+        let s1 = b.last_of(r.future_thread);
+
+        // Chain stages 1..k-1: u_i forks s_{i+1}; w_i; v_i touches s_i.
+        for _ in 1..k {
+            let u = b.fork(main);
+            b.task(u.future_thread); // s_{i+1} payload
+            s_threads.push(u.future_thread);
+            b.task(main); // w_i
+            let s_i = s_threads[s_threads.len() - 2];
+            b.touch_thread(main, s_i); // v_i
+        }
+
+        // Graft: u_k forks the s-thread of the 7(a) gadget, w_k, and the
+        // gate v_k touches the last chain future s_k.
+        let uk = b.fork(main);
+        let st = uk.future_thread;
+        b.task(st); // the gadget's s node
+        b.task(main); // w_k
+        let s_k = *s_threads.last().expect("chain has futures");
+        b.touch_thread(main, s_k); // v_k: the gate (u3 of Figure 7(a))
+        b.task(main); // u4
+
+        // x_1..x_n forks of the Z threads.
+        let mut z_threads = Vec::with_capacity(n);
+        for _ in 0..n {
+            let fx = b.fork(main);
+            b.set_block(fx.node, Block(0));
+            for j in 0..chain {
+                let z = b.task(fx.future_thread);
+                b.set_block(z, Block(j as u32));
+            }
+            z_threads.push(fx.future_thread);
+        }
+        // A filler node, then v': the touch of the gadget's s-thread,
+        // followed by the y joins.
+        b.task(main);
+        b.touch_thread(main, st);
+        for zt in z_threads.iter().rev() {
+            let y = b.join_thread(main, *zt);
+            b.set_block(y, Block(chain as u32));
+        }
+        b.task(main);
+
+        let dag = b.finish().expect("fig7b builds a valid DAG");
+        Fig7b {
+            dag,
+            k,
+            n,
+            chain,
+            s1,
+            processors: 2,
+        }
+    }
+
+    /// The proof's adversary: processor 1 steals `s₁` right at the start,
+    /// executes it and then sleeps forever; processor 0 runs everything
+    /// else.
+    pub fn adversary(&self) -> ScriptedScheduler {
+        ScriptedScheduler::new()
+            .prefer_victims(1, vec![0])
+            .strict_victims()
+            .sleep_after(1, self.s1, WakeCondition::Never)
+    }
+
+    /// The cache size `C` matching the block assignment.
+    pub fn cache_lines(&self) -> usize {
+        self.chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ParallelSimulator, SequentialExecutor, SimConfig};
+    use wsf_dag::classify;
+
+    #[test]
+    fn fig7a_variants_are_structured_single_touch() {
+        for blocked in [false, true] {
+            let fig = Fig7a::new(6, 4, blocked);
+            let class = classify(&fig.dag);
+            assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        }
+    }
+
+    #[test]
+    fn fig7a_blocked_gate_thrashes_the_cache() {
+        // The cheap and expensive traversals of the same gadget shape: the
+        // blocked variant interleaves the y joins with the Z chains and
+        // pays Ω(n·C) misses; the plain variant pays O(n + C).
+        let (n, c) = (16usize, 8usize);
+        let cheap = Fig7a::new(n, c, false);
+        let dear = Fig7a::new(n, c, true);
+        let run = |fig: &Fig7a| {
+            SequentialExecutor::new(Fig7a::POLICY)
+                .with_cache_lines(fig.cache_lines())
+                .run(&fig.dag)
+                .cache
+                .misses
+        };
+        let cheap_misses = run(&cheap);
+        let dear_misses = run(&dear);
+        assert!(
+            cheap_misses as usize <= 3 * n + 2 * c + 8,
+            "cheap traversal should cost O(n + C), got {cheap_misses}"
+        );
+        assert!(
+            dear_misses as usize >= (n - 2) * (c - 2),
+            "blocked traversal should cost Ω(n·C), got {dear_misses}"
+        );
+    }
+
+    #[test]
+    fn fig7b_is_structured_single_touch() {
+        let fig = Fig7b::new(6, 6, 4);
+        let class = classify(&fig.dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert_eq!(fig.k % 2, 0);
+    }
+
+    #[test]
+    fn fig7b_single_steal_causes_linear_deviations_and_misses() {
+        // Theorem 10 (per branch): the parallel parent-first execution with
+        // one steal incurs Ω(n) deviations and Ω(C·n) additional misses,
+        // while the sequential execution is cheap.
+        let (k, n, c) = (8usize, 16usize, 8usize);
+        let fig = Fig7b::new(k, n, c);
+        let config = SimConfig {
+            processors: fig.processors,
+            cache_lines: c,
+            fork_policy: Fig7b::POLICY,
+            ..SimConfig::default()
+        };
+        let sim = ParallelSimulator::new(config);
+        let seq = sim.sequential(&fig.dag);
+        let mut adversary = fig.adversary();
+        let report = sim.run_against(&fig.dag, &seq, &mut adversary, false);
+
+        assert!(report.completed);
+        assert!(report.steals() <= 2, "one steal, got {}", report.steals());
+        assert!(
+            seq.cache_misses() as usize <= 3 * (n + k) + 2 * c + 8,
+            "sequential should be cheap, got {}",
+            seq.cache_misses()
+        );
+        assert!(
+            report.deviations() as usize >= n / 2,
+            "expected Ω(n) deviations, got {}",
+            report.deviations()
+        );
+        assert!(
+            report.additional_misses(&seq) as usize >= (n - 3) * (c - 2),
+            "expected Ω(n·C) additional misses, got {}",
+            report.additional_misses(&seq)
+        );
+    }
+
+    #[test]
+    fn fig7b_future_first_is_cheaper_than_parent_first_adversary() {
+        // Contrast between Sections 5.1 and 5.2: on the same DAG, the
+        // future-first execution (random steals) incurs fewer additional
+        // misses than the adversarial parent-first execution.
+        let (k, n, c) = (8usize, 16usize, 8usize);
+        let fig = Fig7b::new(k, n, c);
+
+        let ff_config = SimConfig {
+            processors: 2,
+            cache_lines: c,
+            fork_policy: ForkPolicy::FutureFirst,
+            ..SimConfig::default()
+        };
+        let ff_sim = ParallelSimulator::new(ff_config);
+        let ff_seq = ff_sim.sequential(&fig.dag);
+        let ff = ff_sim.run(&fig.dag);
+        assert!(ff.completed);
+
+        let pf_config = SimConfig {
+            processors: 2,
+            cache_lines: c,
+            fork_policy: Fig7b::POLICY,
+            ..SimConfig::default()
+        };
+        let pf_sim = ParallelSimulator::new(pf_config);
+        let pf_seq = pf_sim.sequential(&fig.dag);
+        let mut adversary = fig.adversary();
+        let pf = pf_sim.run_against(&fig.dag, &pf_seq, &mut adversary, false);
+        assert!(pf.completed);
+
+        assert!(
+            ff.additional_misses(&ff_seq) < pf.additional_misses(&pf_seq),
+            "future-first ({}) should beat adversarial parent-first ({})",
+            ff.additional_misses(&ff_seq),
+            pf.additional_misses(&pf_seq)
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Figure 8: the full parent-first lower bound (Theorem 10).
+//!
+//! Figure 8 generalizes Figure 7(b): after each touch the thread splits
+//! into two branches, each of which touches one of the two futures spawned
+//! just before the split, so the parity inversion caused by a single steal
+//! at the root propagates into every branch. With `Θ(t)` branches, each
+//! ending in a Figure 7(a) gadget, the parallel parent-first execution
+//! incurs `Ω(t·T∞)` deviations and `Ω(C·t·T∞)` additional cache misses
+//! while the sequential execution pays only `O(C + t)` misses.
+//!
+//! The exact drawing is not available, so this is a reconstruction from the
+//! proof text: each branch stage spawns two futures (at forks `u_i` and
+//! `x_i`), touches the future passed down from its parent stage, and then
+//! splits into a left branch (which will touch the `u_i` future) and a
+//! right branch (which will touch the `x_i` future). Leaf branches graft
+//! the Figure 7(a) gadget. `EXPERIMENTS.md` reports how closely the
+//! measured deviation/miss counts of this reconstruction follow the
+//! theorem's `t·T∞` / `C·t·T∞` shape.
+
+use wsf_core::{ForkPolicy, ScriptedScheduler, WakeCondition};
+use wsf_dag::{Block, Dag, DagBuilder, NodeId, ThreadId};
+
+/// The Figure 8 construction together with its single-steal adversary.
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// The computation DAG.
+    pub dag: Dag,
+    /// Depth of the branch-splitting tree (there are `2^depth` leaf
+    /// branches, so `t = Θ(2^depth)`).
+    pub depth: usize,
+    /// Number of `Z` stages in each leaf gadget.
+    pub n: usize,
+    /// Length of each `Z` chain.
+    pub chain: usize,
+    /// The first future node, which the thief steals.
+    pub s1: NodeId,
+    /// Number of leaf branches.
+    pub leaves: usize,
+}
+
+impl Fig8 {
+    /// The fork policy Theorem 10 is about.
+    pub const POLICY: ForkPolicy = ForkPolicy::ParentFirst;
+
+    /// Builds the construction with `2^depth` leaf branches, each ending in
+    /// a Figure 7(a) gadget with `n` stages of `chain`-long `Z` chains.
+    pub fn new(depth: usize, n: usize, chain: usize) -> Fig8 {
+        let n = n.max(2);
+        let chain = chain.max(2);
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+
+        // The root spawns the first future; its touch is the first branch
+        // stage's gate.
+        let r = b.fork(main);
+        b.task(r.future_thread);
+        let s1 = b.last_of(r.future_thread);
+
+        build_branch(&mut b, main, r.future_thread, depth, n, chain);
+        b.task(main);
+
+        let dag = b.finish().expect("fig8 builds a valid DAG");
+        Fig8 {
+            dag,
+            depth,
+            n,
+            chain,
+            s1,
+            leaves: 1 << depth,
+        }
+    }
+
+    /// The proof's adversary: one steal of the first future at the very
+    /// beginning, after which the thief sleeps forever.
+    pub fn adversary(&self) -> ScriptedScheduler {
+        ScriptedScheduler::new()
+            .prefer_victims(1, vec![0])
+            .strict_victims()
+            .sleep_after(1, self.s1, WakeCondition::Never)
+    }
+
+    /// The cache size `C` matching the block assignment.
+    pub fn cache_lines(&self) -> usize {
+        self.chain
+    }
+
+    /// An estimate of the number of counted touches `t` (one gate per
+    /// branch stage).
+    pub fn touches(&self) -> usize {
+        self.dag.num_touches()
+    }
+}
+
+/// Builds one branch on `thread`, whose gate touches `incoming` (the future
+/// passed down from the parent stage), splitting `depth` more times.
+fn build_branch(
+    b: &mut DagBuilder,
+    thread: ThreadId,
+    incoming: ThreadId,
+    depth: usize,
+    n: usize,
+    chain: usize,
+) {
+    if depth == 0 {
+        build_leaf_gadget(b, thread, incoming, n, chain);
+        return;
+    }
+
+    // Two forks spawning the futures for the two child branches.
+    let fu = b.fork(thread);
+    b.task(fu.future_thread); // the "u_i" future payload
+    let fx = b.fork(thread);
+    b.task(fx.future_thread); // the "x_i" future payload
+
+    // w_i (filler so the gate is not a fork child), then the gate v_i.
+    b.task(thread);
+    b.touch_thread(thread, incoming);
+
+    // Split: the left branch is a new future thread touching the u_i
+    // future; the right branch continues this thread touching the x_i one.
+    let split = b.fork(thread);
+    build_branch(b, split.future_thread, fu.future_thread, depth - 1, n, chain);
+    b.task(thread); // right child filler of the split fork
+    build_branch(b, thread, fx.future_thread, depth - 1, n, chain);
+
+    // Join the left branch so it is synchronized (a sync-only join, as in
+    // the paper's convention for pure barrier edges).
+    b.join_thread(thread, split.future_thread);
+}
+
+/// Grafts the Figure 7(a) gadget at the end of a leaf branch: the gate
+/// touches `incoming` and decides whether the `Z` chains interleave with
+/// the `y` joins.
+fn build_leaf_gadget(b: &mut DagBuilder, thread: ThreadId, incoming: ThreadId, n: usize, chain: usize) {
+    // u_k forks the gadget's s-thread.
+    let uk = b.fork(thread);
+    let st = uk.future_thread;
+    b.task(st);
+    // w_k, then the gate v_k touching the incoming future.
+    b.task(thread);
+    b.touch_thread(thread, incoming);
+    b.task(thread); // u4
+
+    let mut z_threads = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fx = b.fork(thread);
+        b.set_block(fx.node, Block(0));
+        for j in 0..chain {
+            let z = b.task(fx.future_thread);
+            b.set_block(z, Block(j as u32));
+        }
+        z_threads.push(fx.future_thread);
+    }
+    b.task(thread); // filler before the touch of the s-thread
+    b.touch_thread(thread, st);
+    for zt in z_threads.iter().rev() {
+        let y = b.join_thread(thread, *zt);
+        b.set_block(y, Block(chain as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ParallelSimulator, SimConfig};
+    use wsf_dag::{classify, span};
+
+    fn run(fig: &Fig8) -> (wsf_core::SeqReport, wsf_core::ExecutionReport) {
+        let config = SimConfig {
+            processors: 2,
+            cache_lines: fig.cache_lines(),
+            fork_policy: Fig8::POLICY,
+            ..SimConfig::default()
+        };
+        let sim = ParallelSimulator::new(config);
+        let seq = sim.sequential(&fig.dag);
+        let mut adversary = fig.adversary();
+        let report = sim.run_against(&fig.dag, &seq, &mut adversary, false);
+        (seq, report)
+    }
+
+    #[test]
+    fn fig8_is_structured_single_touch() {
+        let fig = Fig8::new(2, 4, 4);
+        let class = classify(&fig.dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert_eq!(fig.leaves, 4);
+    }
+
+    #[test]
+    fn fig8_span_grows_logarithmically_in_branches() {
+        let small = Fig8::new(1, 6, 4);
+        let large = Fig8::new(4, 6, 4);
+        let (s1, s2) = (span(&small.dag), span(&large.dag));
+        // 8x more leaves, but the span only grows by the extra tree depth.
+        assert!(large.leaves == 8 * small.leaves);
+        assert!(s2 < 2 * s1, "span should grow logarithmically: {s1} -> {s2}");
+    }
+
+    #[test]
+    fn fig8_single_steal_poisons_many_branches() {
+        let (n, c) = (8usize, 4usize);
+        let shallow = Fig8::new(1, n, c);
+        let deep = Fig8::new(3, n, c);
+        let (seq_s, rep_s) = run(&shallow);
+        let (seq_d, rep_d) = run(&deep);
+        assert!(rep_s.completed && rep_d.completed);
+        assert!(rep_s.steals() <= 2 && rep_d.steals() <= 2);
+
+        // Sequential executions stay cheap in both cases.
+        assert!(
+            seq_d.cache_misses() < (deep.touches() as u64 + c as u64) * 6,
+            "sequential should be O(C + t), got {}",
+            seq_d.cache_misses()
+        );
+
+        // More branches, proportionally more deviations and extra misses
+        // from the same single steal (4x the leaves, at least 2x the cost).
+        let dev_ratio = rep_d.deviations() as f64 / rep_s.deviations().max(1) as f64;
+        let miss_ratio =
+            rep_d.additional_misses(&seq_d) as f64 / rep_s.additional_misses(&seq_s).max(1) as f64;
+        assert!(
+            dev_ratio >= 2.0,
+            "deviations should grow with the branch count, ratio {dev_ratio:.2} \
+             (shallow {} deep {})",
+            rep_s.deviations(),
+            rep_d.deviations()
+        );
+        assert!(
+            miss_ratio >= 2.0,
+            "additional misses should grow with the branch count, ratio {miss_ratio:.2} \
+             (shallow {} deep {})",
+            rep_s.additional_misses(&seq_s),
+            rep_d.additional_misses(&seq_d)
+        );
+    }
+}

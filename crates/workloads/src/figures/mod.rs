@@ -1,0 +1,36 @@
+//! Reconstructions of the paper's figures.
+//!
+//! The paper's figures are worst-case (or illustrative) computation DAGs;
+//! its lower-bound proofs describe specific adversarial work-stealing
+//! executions of them. Each module here builds the DAG with
+//! [`wsf_dag::DagBuilder`] and, where a proof prescribes a schedule, also
+//! provides the corresponding [`wsf_core::ScriptedScheduler`].
+//!
+//! Because the original figures are drawings, the constructions here are
+//! *reconstructions from the proof text*; every module documents the
+//! properties the reconstruction is required to satisfy (structural class,
+//! sequential cost, adversarial deviation/miss counts) and the test suite
+//! verifies them empirically with the simulator.
+//!
+//! | Module | Paper artifact | Used by experiment |
+//! |--------|----------------|--------------------|
+//! | [`fig3`] | Figure 3 — unstructured futures (touch reachable before its future thread is spawned) | E4 |
+//! | [`fig4`] | Figure 4 — nested structured single-touch computation | E1, E7 |
+//! | [`fig5`] | Figure 5 — single-touch patterns beyond fork-join | E9 |
+//! | [`fig6`] | Figures 6(a)–(c) — future-first lower bound (Theorem 9) | E2 |
+//! | [`fig7`] | Figures 7(a)–(b) (and Figure 2) — parent-first amplification | E3, E4 |
+//! | [`fig8`] | Figure 8 — parent-first lower bound (Theorem 10) | E3 |
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+
+pub use fig3::fig3;
+pub use fig4::fig4;
+pub use fig5::{fig5a, fig5b};
+pub use fig6::Fig6;
+pub use fig7::{Fig7a, Fig7b};
+pub use fig8::Fig8;

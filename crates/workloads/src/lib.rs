@@ -1,0 +1,24 @@
+//! # wsf-workloads — workload generators for the cache-locality experiments
+//!
+//! Two kinds of workloads:
+//!
+//! * [`figures`] — faithful reconstructions of the worst-case DAG
+//!   constructions in the paper (Figures 3, 4, 5, 6, 7 and 8), each bundled
+//!   with the adversarial schedule its proof describes, so the lower-bound
+//!   executions of Theorems 9 and 10 can be replayed on the simulator;
+//! * application-shaped workloads — fork-join divide and conquer
+//!   ([`apps`]), local-touch pipelines ([`pipeline`]), random structured
+//!   single-touch DAGs ([`random`]) and closure-based versions of the same
+//!   programs for the real runtime ([`runtime_apps`]).
+//!
+//! Every generator documents which experiment (E1–E10 in `DESIGN.md`) it
+//! feeds and which figure or theorem of the paper it reproduces.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod figures;
+pub mod pipeline;
+pub mod random;
+pub mod runtime_apps;

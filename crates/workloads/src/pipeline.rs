@@ -1,0 +1,101 @@
+//! Local-touch pipelines (Section 6.1).
+//!
+//! Definition 3 allows a future thread to compute *several* futures, each
+//! touched by the thread's own parent — the structure Blelloch and
+//! Reid-Miller use for pipelining with futures. A stage thread produces one
+//! future value per item; the consumer (its parent) touches them in order.
+
+use wsf_dag::{Block, Dag, DagBuilder, NodeId, ThreadId};
+
+/// Builds a producer/consumer pipeline with `stages` stage threads each
+/// producing `items` futures touched in order by its parent stage.
+///
+/// Stage 0 is the main thread (the final consumer); stage `s+1` is a future
+/// thread spawned by stage `s`. Every item of stage `s` is a small chain of
+/// `work` nodes ending in a value node that the parent touches. The result
+/// is a structured *local-touch* computation that is not single-touch
+/// (every stage thread is touched `items` times).
+pub fn pipeline(stages: usize, items: usize, work: usize) -> Dag {
+    let stages = stages.max(1);
+    let items = items.max(1);
+    let work = work.max(1);
+    let mut b = DagBuilder::new();
+
+    // Create the chain of stage threads: main spawns stage 1, stage 1
+    // spawns stage 2, ...
+    let mut threads = vec![ThreadId::MAIN];
+    for _ in 0..stages {
+        let parent = *threads.last().unwrap();
+        let f = b.fork(parent);
+        threads.push(f.future_thread);
+    }
+
+    // The deepest stage produces items out of thin air; every other stage
+    // consumes its child's items and produces its own.
+    // Produce all value nodes stage by stage, deepest first, so touches can
+    // reference them.
+    let mut produced: Vec<Vec<NodeId>> = vec![Vec::new(); stages + 1];
+    for s in (1..=stages).rev() {
+        let thread = threads[s];
+        for item in 0..items {
+            for w in 0..work {
+                let n = b.task(thread);
+                b.set_block(n, Block((s * items * work + item * work + w) as u32));
+            }
+            // Consume the child's corresponding item, if any.
+            if s < stages {
+                let child_value = produced[s + 1][item];
+                b.touch(thread, child_value);
+            }
+            // The value node the parent will touch.
+            let value = b.task(thread);
+            b.set_block(value, Block((s * items * work + item) as u32));
+            produced[s].push(value);
+        }
+    }
+
+    // The main thread consumes stage 1's items in order.
+    let main = ThreadId::MAIN;
+    b.task(main);
+    for item in 0..items {
+        let value = produced[1][item];
+        b.touch(main, value);
+        let n = b.task(main);
+        b.set_block(n, Block(item as u32));
+    }
+    b.finish().expect("pipeline builds a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ForkPolicy, ParallelSimulator, SimConfig};
+    use wsf_dag::classify;
+
+    #[test]
+    fn pipeline_is_local_touch_not_single_touch() {
+        let dag = pipeline(3, 4, 2);
+        let class = classify(&dag);
+        assert!(class.structured, "{:?}", class.violations);
+        assert!(class.local_touch, "{:?}", class.violations);
+        assert!(!class.single_touch, "stages are touched once per item");
+    }
+
+    #[test]
+    fn single_item_pipeline_is_single_touch_too() {
+        let dag = pipeline(3, 1, 2);
+        let class = classify(&dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert!(class.is_structured_local_touch());
+    }
+
+    #[test]
+    fn pipeline_executes_under_both_policies() {
+        let dag = pipeline(4, 6, 3);
+        for policy in ForkPolicy::ALL {
+            let report = ParallelSimulator::new(SimConfig::new(4, 16, policy)).run(&dag);
+            assert!(report.completed, "{policy}");
+            assert_eq!(report.executed(), dag.num_nodes() as u64);
+        }
+    }
+}

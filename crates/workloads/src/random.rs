@@ -1,0 +1,171 @@
+//! Random structured single-touch computations.
+//!
+//! Theorem 8 is an upper bound over *all* structured single-touch
+//! computations, so the experiments also need "typical" members of the
+//! class rather than just the worst-case figures. This generator produces
+//! random DAGs that are structured single-touch by construction: every
+//! future thread is touched exactly once, by a node created after the
+//! fork's right child in the touching thread.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wsf_dag::{Block, Dag, DagBuilder, ThreadId};
+
+/// Parameters of the random generator.
+#[derive(Copy, Clone, Debug)]
+pub struct RandomConfig {
+    /// Approximate number of nodes to generate.
+    pub target_nodes: usize,
+    /// Probability that a step of a thread forks a future thread.
+    pub fork_probability: f64,
+    /// Maximum nesting depth of future threads.
+    pub max_depth: usize,
+    /// Number of distinct memory blocks to draw from.
+    pub blocks: usize,
+    /// Probability that a node accesses a memory block at all.
+    pub access_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            target_nodes: 2_000,
+            fork_probability: 0.25,
+            max_depth: 8,
+            blocks: 64,
+            access_probability: 0.8,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random structured single-touch DAG.
+pub fn random_single_touch(config: &RandomConfig) -> Dag {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = DagBuilder::new();
+    let budget = config.target_nodes.max(16);
+    let mut created = 1usize;
+    grow(
+        &mut b,
+        ThreadId::MAIN,
+        config,
+        &mut rng,
+        config.max_depth,
+        budget / 2,
+        &mut created,
+        budget,
+    );
+    b.task(ThreadId::MAIN);
+    b.finish().expect("random generator produces valid DAGs")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    b: &mut DagBuilder,
+    thread: ThreadId,
+    config: &RandomConfig,
+    rng: &mut SmallRng,
+    depth: usize,
+    length: usize,
+    created: &mut usize,
+    budget: usize,
+) {
+    let mut pending: Vec<ThreadId> = Vec::new();
+    let mut since_fork = 1usize;
+    for _ in 0..length.max(2) {
+        if *created >= budget {
+            break;
+        }
+        let may_fork = depth > 0 && since_fork > 0 && rng.gen_bool(config.fork_probability);
+        if may_fork {
+            let f = b.fork(thread);
+            *created += 1;
+            let child_len = rng.gen_range(2..=(length / 2).max(3));
+            grow(b, f.future_thread, config, rng, depth - 1, child_len, created, budget);
+            pending.push(f.future_thread);
+            since_fork = 0;
+        } else {
+            let n = b.task(thread);
+            *created += 1;
+            if rng.gen_bool(config.access_probability) {
+                b.set_block(n, Block(rng.gen_range(0..config.blocks as u32)));
+            }
+            since_fork += 1;
+            // Occasionally touch one of the pending futures (LIFO or FIFO at
+            // random), as long as the previous node was not a fork.
+            if !pending.is_empty() && rng.gen_bool(0.4) {
+                let idx = if rng.gen_bool(0.5) { pending.len() - 1 } else { 0 };
+                let t = pending.remove(idx);
+                b.touch_thread(thread, t);
+                *created += 1;
+            }
+        }
+    }
+    // Touch everything still pending so every future is touched exactly once.
+    if !pending.is_empty() {
+        b.task(thread);
+        *created += 1;
+        for t in pending {
+            b.touch_thread(thread, t);
+            *created += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ForkPolicy, ParallelSimulator, SimConfig};
+    use wsf_dag::classify;
+
+    #[test]
+    fn random_dags_are_structured_single_touch() {
+        for seed in 0..8u64 {
+            let config = RandomConfig {
+                target_nodes: 600,
+                seed,
+                ..RandomConfig::default()
+            };
+            let dag = random_single_touch(&config);
+            let class = classify(&dag);
+            assert!(
+                class.is_structured_single_touch(),
+                "seed {seed}: {:?}",
+                class.violations
+            );
+            assert!(dag.num_nodes() >= 16);
+        }
+    }
+
+    #[test]
+    fn random_dags_execute_under_both_policies() {
+        let dag = random_single_touch(&RandomConfig {
+            target_nodes: 800,
+            seed: 42,
+            ..RandomConfig::default()
+        });
+        for policy in ForkPolicy::ALL {
+            for p in [1usize, 4] {
+                let report = ParallelSimulator::new(SimConfig::new(p, 16, policy)).run(&dag);
+                assert!(report.completed);
+                assert_eq!(report.executed(), dag.num_nodes() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let c = RandomConfig {
+            target_nodes: 400,
+            seed: 7,
+            ..RandomConfig::default()
+        };
+        let a = random_single_touch(&c);
+        let b = random_single_touch(&c);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_threads(), b.num_threads());
+        assert_eq!(a.num_touches(), b.num_touches());
+    }
+}

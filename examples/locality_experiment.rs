@@ -1,0 +1,83 @@
+//! The paper's headline comparison in one program: on structured
+//! single-touch computations, future-first work stealing stays close to the
+//! sequential cache behaviour (Theorem 8), while parent-first scheduling
+//! can be forced to thrash (Theorem 10), and a single steal on the
+//! Figure 6(a) gadget already costs Θ(T∞) deviations (Theorem 9).
+//!
+//! Run with: `cargo run --release --example locality_experiment`
+
+use wsf::core::{ForkPolicy, ParallelSimulator, SimConfig};
+use wsf::workloads::figures::{Fig6, Fig7b};
+use wsf_dag::span;
+
+fn main() {
+    println!("== Theorem 9 / Figure 6(a): future-first, one adversarial steal ==");
+    println!("{:>6} {:>8} {:>12} {:>12} {:>14}", "k", "T_inf", "deviations", "seq misses", "extra misses");
+    for k in [8usize, 16, 32, 64] {
+        let c = 16;
+        let fig = Fig6::gadget(k, c);
+        let config = SimConfig {
+            processors: fig.processors,
+            cache_lines: c,
+            fork_policy: Fig6::POLICY,
+            ..SimConfig::default()
+        };
+        let sim = ParallelSimulator::new(config);
+        let seq = sim.sequential(&fig.dag);
+        let mut adv = fig.adversary();
+        let report = sim.run_against(&fig.dag, &seq, &mut adv, false);
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>14}",
+            k,
+            span(&fig.dag),
+            report.deviations(),
+            seq.cache_misses(),
+            report.additional_misses(&seq)
+        );
+    }
+
+    println!();
+    println!("== Theorem 10 / Figure 7(b): parent-first vs future-first on the same DAG ==");
+    println!("{:>6} {:>14} {:>16} {:>16}", "n", "policy", "deviations", "extra misses");
+    for n in [16usize, 32, 64] {
+        let c = 16;
+        let fig = Fig7b::new(8, n, c);
+        // Parent-first with the proof's single-steal adversary.
+        let pf_config = SimConfig {
+            processors: 2,
+            cache_lines: c,
+            fork_policy: ForkPolicy::ParentFirst,
+            ..SimConfig::default()
+        };
+        let pf_sim = ParallelSimulator::new(pf_config);
+        let pf_seq = pf_sim.sequential(&fig.dag);
+        let mut adv = fig.adversary();
+        let pf = pf_sim.run_against(&fig.dag, &pf_seq, &mut adv, false);
+        println!(
+            "{:>6} {:>14} {:>16} {:>16}",
+            n,
+            "parent-first",
+            pf.deviations(),
+            pf.additional_misses(&pf_seq)
+        );
+        // Future-first with ordinary random stealing.
+        let ff_config = SimConfig {
+            processors: 2,
+            cache_lines: c,
+            fork_policy: ForkPolicy::FutureFirst,
+            ..SimConfig::default()
+        };
+        let ff_sim = ParallelSimulator::new(ff_config);
+        let ff_seq = ff_sim.sequential(&fig.dag);
+        let ff = ff_sim.run(&fig.dag);
+        println!(
+            "{:>6} {:>14} {:>16} {:>16}",
+            n,
+            "future-first",
+            ff.deviations(),
+            ff.additional_misses(&ff_seq)
+        );
+    }
+    println!();
+    println!("(See `cargo run -p wsf-bench --bin harness --release` for the full experiment suite.)");
+}

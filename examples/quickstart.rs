@@ -1,0 +1,58 @@
+//! Quickstart: build a small future-parallel computation DAG, check which
+//! of the paper's structural classes it belongs to, and compare its
+//! sequential and parallel cache behaviour under both fork policies.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wsf::prelude::*;
+use wsf_dag::classify;
+
+fn main() {
+    // A thread creates two futures, does some of its own work, and touches
+    // the futures in creation order (the paper's Figure 5(a) pattern).
+    let mut b = DagBuilder::new();
+    let main = b.main_thread();
+
+    let first = b.fork(main);
+    for i in 0..6 {
+        b.task_block(first.future_thread, Block(i));
+    }
+    let second = b.fork(main);
+    for i in 0..6 {
+        b.task_block(second.future_thread, Block(10 + i));
+    }
+    for i in 0..4 {
+        b.task_block(main, Block(20 + i));
+    }
+    b.touch_thread(main, first.future_thread);
+    b.touch_thread(main, second.future_thread);
+    b.task(main);
+    let dag = b.finish().expect("valid DAG");
+
+    println!("DAG: {}", dag.summary());
+    let class = classify(&dag);
+    println!(
+        "structured: {}, single-touch: {}, local-touch: {}, fork-join: {}",
+        class.structured, class.single_touch, class.local_touch, class.fork_join
+    );
+
+    for policy in [ForkPolicy::FutureFirst, ForkPolicy::ParentFirst] {
+        let seq = SequentialExecutor::new(policy).with_cache_lines(8).run(&dag);
+        let par = ParallelSimulator::new(SimConfig {
+            processors: 2,
+            cache_lines: 8,
+            fork_policy: policy,
+            ..SimConfig::default()
+        })
+        .run(&dag);
+        println!(
+            "{policy:>13}: sequential misses = {:>3}, parallel misses = {:>3}, \
+             additional = {:>3}, deviations = {:>2}, steals = {}",
+            seq.cache_misses(),
+            par.cache_misses(),
+            par.additional_misses(&seq),
+            par.deviations(),
+            par.steals(),
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Structured single-touch futures on the real work-stealing runtime.
+//!
+//! Demonstrates the programming discipline the paper recommends: every
+//! future is touched exactly once (enforced by the type system — `touch`
+//! consumes the handle), futures may be passed to other tasks before being
+//! touched, and the spawn policy (child-first vs helper-first) is the
+//! runtime analogue of the paper's future-first vs parent-first choice.
+//!
+//! Run with: `cargo run --release --example runtime_futures`
+
+use std::sync::Arc;
+use wsf::runtime::{Runtime, SpawnPolicy};
+use wsf::workloads::runtime_apps;
+
+fn main() {
+    let data: Arc<Vec<u64>> = Arc::new((0..500_000).collect());
+
+    for policy in SpawnPolicy::ALL {
+        let rt = Arc::new(Runtime::builder().threads(4).policy(policy).build());
+
+        let start = std::time::Instant::now();
+        let fib = runtime_apps::fib(&rt, 20);
+        let total = runtime_apps::sum(&rt, &data, 0, data.len(), 2_048);
+        let squares =
+            runtime_apps::map_reduce(&rt, 16, |w| (w as u64) * (w as u64), |a, b| a + b).unwrap();
+        let pipeline_out = runtime_apps::pipeline(&rt, 10_000);
+        let elapsed = start.elapsed();
+
+        let stats = rt.stats();
+        println!("policy = {policy}");
+        println!("  fib(20)           = {fib}");
+        println!("  sum(0..500_000)   = {total}");
+        println!("  sum of squares    = {squares}");
+        println!("  pipeline items    = {}", pipeline_out.len());
+        println!(
+            "  futures = {}, touches = {}, steals = {}, inline fraction = {:.2}, wall = {:.1?}",
+            stats.futures_created,
+            stats.touches,
+            stats.steals,
+            stats.inline_fraction(),
+            elapsed
+        );
+        println!();
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: workloads → simulator → analysis.
+//!
+//! These check the paper-level claims end to end: the theorem bounds hold
+//! on the structured workloads, the lower-bound constructions actually
+//! exhibit the predicted blow-ups, and the experiment harness runs.
+
+use wsf::core::{bounds, ForkPolicy, ParallelSimulator, SimConfig};
+use wsf::workloads::figures::{fig4, Fig6, Fig7b};
+use wsf::workloads::{apps, pipeline};
+use wsf_analysis::{experiments, Scale};
+use wsf_dag::{classify, span};
+
+fn run(dag: &wsf_dag::Dag, p: usize, c: usize, policy: ForkPolicy) -> (u64, u64) {
+    let sim = ParallelSimulator::new(SimConfig::new(p, c, policy));
+    let seq = sim.sequential(dag);
+    let rep = sim.run(dag);
+    assert!(rep.completed);
+    assert_eq!(rep.executed(), dag.num_nodes() as u64);
+    (rep.deviations(), rep.additional_misses(&seq))
+}
+
+#[test]
+fn theorem8_bound_holds_on_structured_workloads() {
+    // Random-scheduler executions of structured single-touch computations
+    // stay within the Theorem 8 bounds (which are loose upper bounds, so
+    // this should hold comfortably).
+    let c = 16usize;
+    let workloads: Vec<wsf_dag::Dag> = vec![
+        fig4(6, 3),
+        apps::fib(10),
+        apps::reduce(512, 16, 8),
+        Fig6::gadget(12, 4).dag,
+    ];
+    for dag in &workloads {
+        assert!(classify(dag).is_structured_single_touch());
+        let sp = span(dag);
+        for p in [2usize, 4, 8] {
+            let (dev, extra) = run(dag, p, c, ForkPolicy::FutureFirst);
+            assert!(
+                dev <= bounds::thm8_deviations(p as u64, sp),
+                "deviations {dev} exceed P*T_inf^2"
+            );
+            assert!(
+                extra <= bounds::thm8_additional_misses(c as u64, p as u64, sp),
+                "extra misses {extra} exceed C*P*T_inf^2"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem12_bound_holds_on_local_touch_pipelines() {
+    let c = 16usize;
+    let dag = pipeline::pipeline(4, 8, 3);
+    assert!(classify(&dag).is_structured_local_touch());
+    let sp = span(&dag);
+    for p in [2usize, 4] {
+        let (dev, extra) = run(&dag, p, c, ForkPolicy::FutureFirst);
+        assert!(dev <= bounds::thm8_deviations(p as u64, sp));
+        assert!(extra <= bounds::thm8_additional_misses(c as u64, p as u64, sp));
+    }
+}
+
+#[test]
+fn lower_bound_constructions_beat_typical_workloads() {
+    // The adversarial parent-first execution of Figure 7(b) produces far
+    // more additional misses than the future-first execution of an
+    // application DAG of comparable size.
+    let c = 16usize;
+    let fig = Fig7b::new(8, 32, c);
+    let config = SimConfig {
+        processors: 2,
+        cache_lines: c,
+        fork_policy: ForkPolicy::ParentFirst,
+        ..SimConfig::default()
+    };
+    let sim = ParallelSimulator::new(config);
+    let seq = sim.sequential(&fig.dag);
+    let mut adv = fig.adversary();
+    let report = sim.run_against(&fig.dag, &seq, &mut adv, false);
+    assert!(report.completed);
+    let adversarial_extra = report.additional_misses(&seq);
+
+    let app = apps::reduce(512, 16, 8);
+    let (_, app_extra) = run(&app, 2, c, ForkPolicy::FutureFirst);
+    assert!(
+        adversarial_extra > 4 * app_extra.max(1),
+        "adversarial {adversarial_extra} vs app {app_extra}"
+    );
+}
+
+#[test]
+fn acar_bridge_between_deviations_and_misses() {
+    // Additional misses are at most C times the deviations, plus a cold-cache
+    // term per processor (the Acar–Blelloch–Blumofe bridge the paper uses).
+    let c = 8usize;
+    let workloads: Vec<wsf_dag::Dag> = vec![
+        apps::fib(10),
+        apps::matmul(3, 6),
+        Fig6::gadget(12, c).dag,
+        Fig7b::new(6, 12, c).dag,
+    ];
+    for dag in &workloads {
+        for policy in ForkPolicy::ALL {
+            for p in [2usize, 4] {
+                let sim = ParallelSimulator::new(SimConfig::new(p, c, policy));
+                let seq = sim.sequential(dag);
+                let rep = sim.run(dag);
+                let extra = rep.additional_misses(&seq);
+                let limit = (c as u64) * (rep.deviations() + p as u64 + 1);
+                assert!(
+                    extra <= limit,
+                    "policy {policy}, P={p}: extra {extra} > C*(deviations+P+1) = {limit}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quick_experiment_suite_is_consistent() {
+    let tables = experiments::run_all(Scale::Quick);
+    assert!(tables.len() >= 10);
+    // E7's violation column must be all zeros (Lemma 4).
+    let lemma = tables
+        .iter()
+        .find(|t| t.title.contains("Lemmas 4"))
+        .expect("lemma table present");
+    for row in &lemma.rows {
+        assert_eq!(row.last().map(String::as_str), Some("0"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Integration tests for the real runtime driven through the workspace
+//! facade: the same kernels that exist as DAGs, executed on OS threads.
+
+use std::sync::Arc;
+use wsf::runtime::{Runtime, SpawnPolicy};
+use wsf::workloads::runtime_apps;
+
+#[test]
+fn kernels_agree_with_references_across_policies_and_thread_counts() {
+    let data: Arc<Vec<u64>> = Arc::new((0..50_000).collect());
+    let expected_sum: u64 = data.iter().sum();
+    for policy in SpawnPolicy::ALL {
+        for threads in [1usize, 2, 4] {
+            let rt = Arc::new(Runtime::builder().threads(threads).policy(policy).build());
+            assert_eq!(runtime_apps::fib(&rt, 18), 2_584);
+            assert_eq!(runtime_apps::sum(&rt, &data, 0, data.len(), 256), expected_sum);
+            let mr = runtime_apps::map_reduce(&rt, 24, |w| w as u64 + 1, |a, b| a + b);
+            assert_eq!(mr, Some((1..=24u64).sum()));
+            let out = runtime_apps::pipeline(&rt, 256);
+            assert_eq!(out.len(), 256);
+            assert_eq!(out[5], 26);
+            let stats = rt.stats();
+            assert!(stats.futures_created > 0);
+            assert_eq!(stats.touches >= stats.futures_created, true);
+        }
+    }
+}
+
+#[test]
+fn many_small_futures_from_an_external_thread() {
+    // Futures created and touched from outside the pool exercise the
+    // injector path and the blocking touch.
+    let rt = Runtime::builder().threads(2).build();
+    let futures: Vec<_> = (0..200u64).map(|i| rt.defer_future(move || i * 3)).collect();
+    let total: u64 = futures.into_iter().map(|f| f.touch()).sum();
+    assert_eq!(total, 3 * (0..200u64).sum::<u64>());
+}
+
+#[test]
+fn futures_can_be_forwarded_between_tasks() {
+    // The Figure 5(b) pattern on the real runtime, nested a few levels.
+    let rt = Arc::new(Runtime::builder().threads(3).build());
+    let base = rt.spawn_future(|| 1u64);
+    let mut handle = base;
+    for _ in 0..8 {
+        let rt2 = Arc::clone(&rt);
+        handle = rt.spawn_future(move || {
+            let inner = rt2.spawn_future(move || handle.touch() + 1);
+            inner.touch()
+        });
+    }
+    assert_eq!(handle.touch(), 9);
+}
