@@ -70,7 +70,13 @@ pub fn e1_thm8_upper(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E1 / Theorem 8 — future-first upper bound on structured single-touch DAGs",
         &[
-            "workload", "P", "T_inf", "deviations", "P*T_inf^2", "extra misses", "C*P*T_inf^2",
+            "workload",
+            "P",
+            "T_inf",
+            "deviations",
+            "P*T_inf^2",
+            "extra misses",
+            "C*P*T_inf^2",
             "steals",
         ],
     );
@@ -121,7 +127,13 @@ pub fn e2_thm9_lower(scale: Scale) -> Vec<Table> {
     let mut gadget = Table::new(
         "E2a / Theorem 9, Figure 6(a) — one steal, future-first",
         &[
-            "k", "T_inf", "steals", "deviations", "dev/T_inf", "seq misses", "extra misses",
+            "k",
+            "T_inf",
+            "steals",
+            "deviations",
+            "dev/T_inf",
+            "seq misses",
+            "extra misses",
             "k*C",
         ],
     );
@@ -145,12 +157,22 @@ pub fn e2_thm9_lower(scale: Scale) -> Vec<Table> {
     }
     gadget.push_row(vec![
         "exponent of deviations vs T_inf".to_string(),
-        format!("{:.2} (theorem: 1.0 per steal)", power_law_exponent(&points)),
+        format!(
+            "{:.2} (theorem: 1.0 per steal)",
+            power_law_exponent(&points)
+        ),
     ]);
 
     let mut repeated = Table::new(
         "E2b / Theorem 9, Figure 6(b) — gadgets replayed by the same processors",
-        &["gadgets m", "k", "deviations", "m*k", "extra misses", "steals"],
+        &[
+            "gadgets m",
+            "k",
+            "deviations",
+            "m*k",
+            "extra misses",
+            "steals",
+        ],
     );
     let k = scale.pick(6usize, 16);
     for &m in &scale.pick(vec![1usize, 2, 4], vec![1, 2, 4, 8, 16]) {
@@ -196,7 +218,13 @@ pub fn e3_thm10_parent_first(scale: Scale) -> Vec<Table> {
     let mut chain = Table::new(
         "E3a / Theorem 10, Figure 7(b) — one steal, parent-first",
         &[
-            "n", "k", "T_inf", "deviations", "seq misses", "extra misses", "C*T_inf",
+            "n",
+            "k",
+            "T_inf",
+            "deviations",
+            "seq misses",
+            "extra misses",
+            "C*T_inf",
         ],
     );
     for &n in &ns {
@@ -218,7 +246,13 @@ pub fn e3_thm10_parent_first(scale: Scale) -> Vec<Table> {
     let mut branching = Table::new(
         "E3b / Theorem 10, Figure 8 — branching multiplies the damage (t branches)",
         &[
-            "branches", "touches t", "T_inf", "deviations", "t*n", "extra misses", "C*t*n",
+            "branches",
+            "touches t",
+            "T_inf",
+            "deviations",
+            "t*n",
+            "extra misses",
+            "C*t*n",
         ],
     );
     let n = scale.pick(4usize, 16);
@@ -275,7 +309,12 @@ pub fn e4_unstructured(scale: Scale) -> Vec<Table> {
     let mut unstructured = Table::new(
         "E4b / Figure 3 — unstructured futures under work stealing",
         &[
-            "touches t", "policy", "P", "deviations", "unstructured bound P*T+t*T", "extra misses",
+            "touches t",
+            "policy",
+            "P",
+            "deviations",
+            "unstructured bound P*T+t*T",
+            "extra misses",
         ],
     );
     for &t in &scale.pick(vec![4usize], vec![8, 32, 128]) {
@@ -302,12 +341,21 @@ pub fn e5_local_touch(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E5 / Theorem 12 — local-touch pipelines, future-first",
         &[
-            "stages", "items", "P", "T_inf", "deviations", "P*T_inf^2", "extra misses",
+            "stages",
+            "items",
+            "P",
+            "T_inf",
+            "deviations",
+            "P*T_inf^2",
+            "extra misses",
             "C*P*T_inf^2",
         ],
     );
     let c = 16usize;
-    for &(stages, items) in &scale.pick(vec![(2usize, 3usize)], vec![(2, 8), (4, 8), (4, 16), (8, 16)]) {
+    for &(stages, items) in &scale.pick(
+        vec![(2usize, 3usize)],
+        vec![(2, 8), (4, 8), (4, 16), (8, 16)],
+    ) {
         let dag = pipeline::pipeline(stages, items, 3);
         let class = classify(&dag);
         assert!(class.is_structured_local_touch());
@@ -334,7 +382,12 @@ pub fn e6_super_final(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E6 / Theorems 16 & 18 — side-effect futures synchronized by a super final node",
         &[
-            "side-effect threads", "P", "T_inf", "deviations", "P*T_inf^2", "extra misses",
+            "side-effect threads",
+            "P",
+            "T_inf",
+            "deviations",
+            "P*T_inf^2",
+            "extra misses",
         ],
     );
     let c = 16usize;
@@ -388,7 +441,10 @@ pub fn e7_lemma4(scale: Scale) -> Vec<Table> {
         ("fig5b".into(), fig5b(scale.pick(3, 12))),
         ("fig6a".into(), Fig6::gadget(scale.pick(4, 24), 4).dag),
         ("fib".into(), apps::fib(scale.pick(6, 12))),
-        ("pipeline".into(), pipeline::pipeline(3, scale.pick(3, 10), 2)),
+        (
+            "pipeline".into(),
+            pipeline::pipeline(3, scale.pick(3, 10), 2),
+        ),
         (
             "random".into(),
             random_single_touch(&RandomConfig {
@@ -427,15 +483,26 @@ pub fn e8_policy_comparison(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E8 / Section 5.1 vs 5.2 — future-first vs parent-first (additional misses, deviations)",
         &[
-            "workload", "P", "FF deviations", "PF deviations", "FF extra misses", "PF extra misses",
+            "workload",
+            "P",
+            "FF deviations",
+            "PF deviations",
+            "FF extra misses",
+            "PF extra misses",
         ],
     );
     let workloads: Vec<(String, Dag)> = vec![
         ("fig6a(k=16)".into(), Fig6::gadget(scale.pick(6, 16), c).dag),
-        ("fig7b(n=16)".into(), Fig7b::new(8, scale.pick(6, 16), c).dag),
+        (
+            "fig7b(n=16)".into(),
+            Fig7b::new(8, scale.pick(6, 16), c).dag,
+        ),
         ("fib".into(), apps::fib(scale.pick(6, 12))),
         ("reduce".into(), apps::reduce(scale.pick(128, 2_048), 16, 8)),
-        ("matmul".into(), apps::matmul(scale.pick(2, 4), scale.pick(4, 8))),
+        (
+            "matmul".into(),
+            apps::matmul(scale.pick(2, 4), scale.pick(4, 8)),
+        ),
     ];
     for (name, dag) in workloads {
         for &p in &scale.pick(vec![2usize], vec![2, 8]) {
@@ -460,7 +527,13 @@ pub fn e9_applications(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E9 / Section 4 — application workloads: class membership and locality (future-first, P=4)",
         &[
-            "workload", "nodes", "T_inf", "class", "deviations", "extra misses", "seq misses",
+            "workload",
+            "nodes",
+            "T_inf",
+            "class",
+            "deviations",
+            "extra misses",
+            "seq misses",
         ],
     );
     let workloads: Vec<(String, Dag)> = vec![
@@ -470,7 +543,10 @@ pub fn e9_applications(scale: Scale) -> Vec<Table> {
         ("map_reduce".into(), apps::map_reduce(scale.pick(4, 16), 32)),
         ("fig5a (priority futures)".into(), fig5a(scale.pick(4, 16))),
         ("fig5b (passed future)".into(), fig5b(scale.pick(4, 16))),
-        ("pipeline".into(), pipeline::pipeline(4, scale.pick(4, 16), 4)),
+        (
+            "pipeline".into(),
+            pipeline::pipeline(4, scale.pick(4, 16), 4),
+        ),
     ];
     for (name, dag) in workloads {
         let class = classify(&dag);
@@ -508,7 +584,13 @@ pub fn e10_runtime(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E10 — real work-stealing runtime (structured single-touch futures)",
         &[
-            "kernel", "policy", "threads", "result ok", "futures", "steals", "inline fraction",
+            "kernel",
+            "policy",
+            "threads",
+            "result ok",
+            "futures",
+            "steals",
+            "inline fraction",
             "wall time (ms)",
         ],
     );
@@ -570,12 +652,19 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables
 }
 
+/// One experiment registry entry: id, description, runner.
+pub type Experiment = (&'static str, &'static str, fn(Scale) -> Vec<Table>);
+
 /// The experiment registry: id, description, runner.
-pub fn registry() -> Vec<(&'static str, &'static str, fn(Scale) -> Vec<Table>)> {
+pub fn registry() -> Vec<Experiment> {
     vec![
         ("e1", "Theorem 8 upper bound (future-first)", e1_thm8_upper),
         ("e2", "Theorem 9 lower bound (Figure 6)", e2_thm9_lower),
-        ("e3", "Theorem 10 lower bound (Figures 7(b), 8)", e3_thm10_parent_first),
+        (
+            "e3",
+            "Theorem 10 lower bound (Figures 7(b), 8)",
+            e3_thm10_parent_first,
+        ),
         ("e4", "Figure 2/3 background bounds", e4_unstructured),
         ("e5", "Theorem 12 local-touch computations", e5_local_touch),
         ("e6", "Theorems 16/18 super final node", e6_super_final),

@@ -52,7 +52,8 @@ mod tests {
 
     #[test]
     fn recovers_known_exponents() {
-        let quadratic: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
+        let quadratic: Vec<(f64, f64)> =
+            (1..=10).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
         assert!((power_law_exponent(&quadratic) - 2.0).abs() < 1e-9);
         let linear: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 7.0 * x as f64)).collect();
         assert!((power_law_exponent(&linear) - 1.0).abs() < 1e-9);

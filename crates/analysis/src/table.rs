@@ -29,7 +29,8 @@ impl Table {
 
     /// Appends a row from displayable values.
     pub fn row<D: std::fmt::Display>(&mut self, cells: &[D]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows.

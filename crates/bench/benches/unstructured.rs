@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("unstructured");
     for blocked in [false, true] {
         let fig = Fig7a::new(sizes::FIG7_N, sizes::CACHE, blocked);
-        let label = if blocked { "gate_delayed" } else { "gate_ready" };
+        let label = if blocked {
+            "gate_delayed"
+        } else {
+            "gate_ready"
+        };
         group.bench_function(format!("fig7a_sequential_{label}"), |b| {
             b.iter(|| {
                 SequentialExecutor::new(Fig7a::POLICY)

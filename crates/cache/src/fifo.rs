@@ -104,7 +104,10 @@ mod tests {
         let fifo_misses: u32 = trace.iter().map(|&b| fifo.access(b).is_miss() as u32).sum();
         let lru_misses: u32 = trace.iter().map(|&b| lru.access(b).is_miss() as u32).sum();
         assert_eq!(lru_misses, 4);
-        assert_eq!(fifo_misses, 5, "FIFO evicts the hit block 1 and re-misses it");
+        assert_eq!(
+            fifo_misses, 5,
+            "FIFO evicts the hit block 1 and re-misses it"
+        );
     }
 
     #[test]

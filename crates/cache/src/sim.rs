@@ -3,9 +3,10 @@
 use crate::{AccessOutcome, BlockId, Cache, CacheStats, FifoCache, LruCache, SetAssociativeCache};
 
 /// Which replacement policy a [`CacheSim`] uses.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum CachePolicy {
     /// Fully associative least-recently-used (the paper's model).
+    #[default]
     Lru,
     /// Fully associative first-in-first-out.
     Fifo,
@@ -16,12 +17,6 @@ pub enum CachePolicy {
         /// Number of sets; must divide the line count.
         sets: usize,
     },
-}
-
-impl Default for CachePolicy {
-    fn default() -> Self {
-        CachePolicy::Lru
-    }
 }
 
 enum Inner {
@@ -51,7 +46,7 @@ impl CacheSim {
             CachePolicy::Fifo => Inner::Fifo(FifoCache::new(lines)),
             CachePolicy::SetAssociative { sets } => {
                 assert!(
-                    sets > 0 && lines % sets == 0,
+                    sets > 0 && lines.is_multiple_of(sets),
                     "set count must divide the number of lines"
                 );
                 Inner::SetAssoc(SetAssociativeCache::new(sets, lines / sets))

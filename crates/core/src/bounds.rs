@@ -89,7 +89,8 @@ mod tests {
         let (p, c, span) = (4u64, 8u64, 100u64);
         let touches = 1_000_000u64;
         assert!(
-            thm8_additional_misses(c, p, span) < unstructured_additional_misses(c, p, touches, span)
+            thm8_additional_misses(c, p, span)
+                < unstructured_additional_misses(c, p, touches, span)
         );
     }
 

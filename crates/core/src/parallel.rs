@@ -150,8 +150,7 @@ impl ParallelSimulator {
                                 let stolen = procs[victim].deque.steal_top();
                                 match stolen {
                                     Some(node) => {
-                                        procs[p].current =
-                                            Some((node, dag.node(node).weight()));
+                                        procs[p].current = Some((node, dag.node(node).weight()));
                                         procs[p].stats.steals += 1;
                                         progressed = true;
                                     }
@@ -347,7 +346,10 @@ mod tests {
         assert!(report.completed);
         assert!(report.steals() > 0, "thieves find work in a wide tree");
         assert!(report.busy_processors() > 1);
-        assert!(report.makespan < dag.num_nodes() as u64, "parallelism shortens the makespan");
+        assert!(
+            report.makespan < dag.num_nodes() as u64,
+            "parallelism shortens the makespan"
+        );
     }
 
     #[test]

@@ -7,12 +7,13 @@
 /// yields `O(C·P·T∞²)` additional misses (Theorem 8), while running the
 /// *parent thread* first can incur `Ω(C·t·T∞)` additional misses
 /// (Theorem 10).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum ForkPolicy {
     /// Execute the spawned future thread (the fork's left child) first and
     /// push the parent continuation onto the deque. This is the
     /// "child-first" / "work-first" strategy of Cilk-style schedulers and
     /// the policy the paper recommends.
+    #[default]
     FutureFirst,
     /// Execute the parent continuation (the fork's right child) first and
     /// push the future thread onto the deque ("helper-first" / "parent
@@ -36,12 +37,6 @@ impl ForkPolicy {
 impl std::fmt::Display for ForkPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
-    }
-}
-
-impl Default for ForkPolicy {
-    fn default() -> Self {
-        ForkPolicy::FutureFirst
     }
 }
 

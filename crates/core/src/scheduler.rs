@@ -187,7 +187,7 @@ impl Scheduler for ScriptedScheduler {
         }
     }
 
-    fn is_awake(&mut self, proc: usize, step: u64, ) -> bool {
+    fn is_awake(&mut self, proc: usize, step: u64) -> bool {
         self.wake_ready(step);
         !self.asleep.contains_key(&proc)
     }
@@ -235,7 +235,8 @@ mod tests {
 
     #[test]
     fn scripted_sleep_and_wake_on_node() {
-        let mut s = ScriptedScheduler::new().sleep_after(1, NodeId(5), WakeCondition::AfterNode(NodeId(9)));
+        let mut s =
+            ScriptedScheduler::new().sleep_after(1, NodeId(5), WakeCondition::AfterNode(NodeId(9)));
         assert!(s.is_awake(1, 0));
         s.on_complete(1, NodeId(5), 1);
         assert!(!s.is_awake(1, 2));
@@ -274,7 +275,8 @@ mod tests {
 
     #[test]
     fn initially_asleep_until_node() {
-        let mut s = ScriptedScheduler::new().initially_asleep(2, WakeCondition::AfterNode(NodeId(4)));
+        let mut s =
+            ScriptedScheduler::new().initially_asleep(2, WakeCondition::AfterNode(NodeId(4)));
         assert!(!s.is_awake(2, 0));
         assert!(s.is_awake(0, 0));
         s.on_complete(0, NodeId(4), 1);

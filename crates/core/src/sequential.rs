@@ -139,7 +139,10 @@ mod tests {
         let left = dag.left_child(fork).unwrap();
         let right = dag.right_child(fork).unwrap();
         let pos = |n: NodeId| report.order.iter().position(|&x| x == n).unwrap();
-        assert!(pos(left) < pos(right), "future thread runs before the parent continuation");
+        assert!(
+            pos(left) < pos(right),
+            "future thread runs before the parent continuation"
+        );
     }
 
     #[test]
@@ -150,7 +153,10 @@ mod tests {
         let left = dag.left_child(fork).unwrap();
         let right = dag.right_child(fork).unwrap();
         let pos = |n: NodeId| report.order.iter().position(|&x| x == n).unwrap();
-        assert!(pos(right) < pos(left), "parent continuation runs before the future thread");
+        assert!(
+            pos(right) < pos(left),
+            "parent continuation runs before the future thread"
+        );
     }
 
     #[test]
@@ -167,7 +173,9 @@ mod tests {
             assert!(pos(fp) < pos(lp), "future parent executes first");
             let fork = dag.corresponding_fork(touch).unwrap();
             let right = dag.right_child(fork).unwrap();
-            let last_of_future = dag.thread(dag.future_thread_of_touch(touch).unwrap()).last();
+            let last_of_future = dag
+                .thread(dag.future_thread_of_touch(touch).unwrap())
+                .last();
             assert_eq!(
                 pos(right),
                 pos(last_of_future) + 1,

@@ -540,7 +540,10 @@ mod tests {
     fn unknown_thread_errors() {
         let mut b = DagBuilder::new();
         let bogus = ThreadId(42);
-        assert_eq!(b.try_task(bogus).unwrap_err(), DagError::UnknownThread(bogus));
+        assert_eq!(
+            b.try_task(bogus).unwrap_err(),
+            DagError::UnknownThread(bogus)
+        );
         assert_eq!(
             b.try_touch_thread(ThreadId::MAIN, bogus).unwrap_err(),
             DagError::UnknownThread(bogus)

@@ -372,7 +372,10 @@ mod tests {
         assert!(c.structured, "violations: {:?}", c.violations);
         assert!(c.single_touch);
         assert!(c.local_touch);
-        assert!(!c.fork_join, "super-final computations are not plain fork-join");
+        assert!(
+            !c.fork_join,
+            "super-final computations are not plain fork-join"
+        );
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
 
         assert!(is_descendant(&d, fork, touch));
         assert!(is_descendant(&d, right, touch));
-        assert!(is_descendant(&d, left, touch), "future thread reaches touch");
+        assert!(
+            is_descendant(&d, left, touch),
+            "future thread reaches touch"
+        );
         assert!(is_descendant(&d, fork, fork), "node is its own descendant");
         assert!(!is_descendant(&d, touch, fork));
         assert!(!is_descendant(&d, right, left));

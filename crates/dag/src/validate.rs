@@ -140,7 +140,10 @@ fn validate_threads(dag: &Dag) -> Result<(), DagError> {
             if dag.node(cur).thread() != tid {
                 return Err(DagError::DegreeViolation {
                     node: cur,
-                    detail: format!("node belongs to {}, listed under {tid}", dag.node(cur).thread()),
+                    detail: format!(
+                        "node belongs to {}, listed under {tid}",
+                        dag.node(cur).thread()
+                    ),
                 });
             }
             if i + 1 < t.len() {

@@ -12,12 +12,7 @@ fn build_fork_join(shape: &[(bool, u8)]) -> Dag {
         for &(fork, work) in shape {
             if fork && depth < 6 {
                 let f = b.fork(thread);
-                expand(
-                    b,
-                    f.future_thread,
-                    &shape[..shape.len() / 2],
-                    depth + 1,
-                );
+                expand(b, f.future_thread, &shape[..shape.len() / 2], depth + 1);
                 b.task(thread);
                 b.touch_thread(thread, f.future_thread);
             } else {

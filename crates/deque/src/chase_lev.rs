@@ -524,7 +524,11 @@ mod tests {
 
         let mut all = received.into_inner().unwrap();
         let expected = PER_ROUND * ROUNDS;
-        assert_eq!(all.len(), expected, "every pushed value arrives exactly once");
+        assert_eq!(
+            all.len(),
+            expected,
+            "every pushed value arrives exactly once"
+        );
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), expected, "no duplicates");

@@ -1,0 +1,199 @@
+//! Multi-threaded stress tests of the Chase–Lev deque: N stealers race one
+//! owner, and every pushed item must be delivered exactly once — no losses,
+//! no duplications — including while the buffer grows under contention.
+//!
+//! (The `chase_lev` module's safety argument promises exactly this test.)
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wsf_deque::{deque, Steal};
+
+/// Runs one owner against `thieves` stealers: the owner pushes `total`
+/// distinct items in bursts (interleaving pops of roughly half of each
+/// burst), the stealers drain from the top until told to stop. Returns
+/// every delivered item.
+fn hammer(thieves: usize, total: usize, burst: usize) -> Vec<usize> {
+    let (worker, stealer) = deque::<usize>();
+    let received: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(total));
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..thieves)
+            .map(|_| {
+                let stealer = stealer.clone();
+                let received = &received;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(v) => local.push(v),
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                // Only stop once the producer is finished
+                                // AND the deque has been observed empty
+                                // afterwards, so no trailing items are lost.
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    received.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+
+        let mut local = Vec::new();
+        let mut next = 0usize;
+        while next < total {
+            let end = (next + burst).min(total);
+            for v in next..end {
+                worker.push(v);
+            }
+            next = end;
+            for _ in 0..burst / 2 {
+                if let Some(v) = worker.pop() {
+                    local.push(v);
+                }
+            }
+        }
+        while let Some(v) = worker.pop() {
+            local.push(v);
+        }
+        done.store(true, Ordering::Release);
+
+        for h in handles {
+            h.join().unwrap();
+        }
+        received.lock().unwrap().extend(local);
+    });
+
+    received.into_inner().unwrap()
+}
+
+/// Checks the exactly-once delivery of `0..total` in `delivered`.
+fn assert_exactly_once(mut delivered: Vec<usize>, total: usize, context: &str) {
+    assert_eq!(
+        delivered.len(),
+        total,
+        "{context}: delivered {} of {total} items (lost or duplicated)",
+        delivered.len()
+    );
+    delivered.sort_unstable();
+    for (expect, got) in delivered.iter().enumerate() {
+        assert_eq!(
+            *got, expect,
+            "{context}: item set is not exactly 0..{total}"
+        );
+    }
+}
+
+#[test]
+fn one_stealer_vs_owner() {
+    let total = 20_000;
+    assert_exactly_once(hammer(1, total, 64), total, "1 thief");
+}
+
+#[test]
+fn many_stealers_vs_owner() {
+    // More thieves than cores forces constant CAS races on `top`.
+    for thieves in [2usize, 4, 8] {
+        let total = 20_000;
+        assert_exactly_once(
+            hammer(thieves, total, 128),
+            total,
+            &format!("{thieves} thieves"),
+        );
+    }
+}
+
+#[test]
+fn growth_under_contention() {
+    // Bursts far beyond the initial capacity force repeated `grow` calls
+    // while stealers are actively reading; retired buffers must keep
+    // in-flight reads valid (no torn values, exactly-once delivery).
+    let total = 50_000;
+    assert_exactly_once(hammer(4, total, 4_096), total, "growth bursts");
+}
+
+#[test]
+fn stealers_never_fabricate_items() {
+    // Thieves that race an owner popping *everything* must only ever
+    // observe genuine values: each steal result is either a real item or
+    // Empty/Retry, and the grand total stays exact.
+    let (worker, stealer) = deque::<usize>();
+    let stolen = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let total = 30_000usize;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let stealer = stealer.clone();
+                let stolen = &stolen;
+                let done = &done;
+                scope.spawn(move || loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => {
+                            assert!(v < total, "stole fabricated value {v}");
+                            stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut popped = 0usize;
+        for v in 0..total {
+            worker.push(v);
+            // Aggressive owner: immediately tries to take it back.
+            if worker.pop().is_some() {
+                popped += 1;
+            }
+        }
+        while worker.pop().is_some() {
+            popped += 1;
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        assert_eq!(
+            popped + stolen.load(Ordering::Relaxed),
+            total,
+            "pops + steals must account for every push exactly once"
+        );
+    });
+}
+
+#[test]
+fn worker_is_send_across_threads() {
+    // The owner handle may migrate between threads (it is Send, just not
+    // Sync); delivery stays exactly-once across the move.
+    let (worker, stealer) = deque::<usize>();
+    for v in 0..100 {
+        worker.push(v);
+    }
+    let handle = std::thread::spawn(move || {
+        let mut got = Vec::new();
+        while let Some(v) = worker.pop() {
+            got.push(v);
+        }
+        got
+    });
+    let mut got = handle.join().unwrap();
+    // Nothing was stolen, so the mover drained everything.
+    assert!(stealer.steal().is_empty());
+    got.sort_unstable();
+    assert_eq!(got, (0..100).collect::<Vec<_>>());
+}

@@ -16,9 +16,10 @@
 /// common depth-first case) and `HelperFirst` by always deferring the body
 /// to the deque. `Runtime::join` always uses the child-first discipline,
 /// exactly like Cilk's spawn/sync.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SpawnPolicy {
     /// Run spawned futures eagerly (future-first / work-first).
+    #[default]
     ChildFirst,
     /// Defer spawned futures to the deque and keep executing the parent
     /// (parent-first / help-first).
@@ -35,12 +36,6 @@ impl SpawnPolicy {
             SpawnPolicy::ChildFirst => "child-first",
             SpawnPolicy::HelperFirst => "helper-first",
         }
-    }
-}
-
-impl Default for SpawnPolicy {
-    fn default() -> Self {
-        SpawnPolicy::ChildFirst
     }
 }
 

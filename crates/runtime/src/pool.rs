@@ -310,7 +310,10 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.inner.stats.futures_created.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .futures_created
+            .fetch_add(1, Ordering::Relaxed);
         let state = FutureState::new();
 
         let run_inline = self.inner.policy == SpawnPolicy::ChildFirst
@@ -370,7 +373,10 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.inner.stats.futures_created.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .futures_created
+            .fetch_add(1, Ordering::Relaxed);
         let state = FutureState::new();
         let task_state = Arc::clone(&state);
         let task: Task = Box::new(move || task_state.complete(f()));

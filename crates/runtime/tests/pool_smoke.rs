@@ -1,0 +1,194 @@
+//! Smoke tests of the real thread pool: spawn/touch fan-outs under both
+//! [`SpawnPolicy`] variants, checking results and the consistency of the
+//! [`RuntimeStats`] counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsf_runtime::{Runtime, RuntimeStats, SpawnPolicy};
+
+/// Recursive fork-join fib on the runtime (the canonical fan-out).
+fn fib(rt: &Arc<Runtime>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let rt2 = Arc::clone(rt);
+    let future = rt.spawn_future(move || fib(&rt2, n - 2));
+    let a = fib(rt, n - 1);
+    a + future.touch()
+}
+
+fn fib_reference(n: u64) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..n {
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    a
+}
+
+/// Asserts the internal consistency relations between the counters.
+fn assert_stats_consistent(stats: &RuntimeStats, context: &str) {
+    assert!(
+        stats.touches <= stats.futures_created,
+        "{context}: touched {} futures but only {} were created",
+        stats.touches,
+        stats.futures_created
+    );
+    assert!(
+        stats.inline_runs <= stats.futures_created,
+        "{context}: {} inline runs exceed {} created futures",
+        stats.inline_runs,
+        stats.futures_created
+    );
+    // Every non-inline future becomes a deque/injector task; steals and
+    // helped tasks are both subsets of the executed tasks.
+    let queued = stats.futures_created - stats.inline_runs;
+    assert!(
+        stats.tasks_executed <= queued,
+        "{context}: executed {} tasks but only {} were ever queued",
+        stats.tasks_executed,
+        queued
+    );
+    assert!(
+        stats.steals <= stats.tasks_executed,
+        "{context}: {} steals exceed {} executed tasks",
+        stats.steals,
+        stats.tasks_executed
+    );
+    assert!(
+        stats.helped_tasks <= stats.tasks_executed,
+        "{context}: {} helped tasks exceed {} executed tasks",
+        stats.helped_tasks,
+        stats.tasks_executed
+    );
+    let frac = stats.inline_fraction();
+    assert!(
+        (0.0..=1.0).contains(&frac),
+        "{context}: inline fraction {frac} out of range"
+    );
+}
+
+#[test]
+fn fib_fanout_under_both_policies() {
+    for policy in SpawnPolicy::ALL {
+        for threads in [1usize, 2, 4] {
+            let rt = Arc::new(Runtime::builder().threads(threads).policy(policy).build());
+            let n = 16u64;
+            let got = fib(&rt, n);
+            assert_eq!(
+                got,
+                fib_reference(n),
+                "fib({n}) wrong under {policy} with {threads} threads"
+            );
+            let stats = rt.stats();
+            assert!(
+                stats.futures_created > 0,
+                "{policy}: fan-out created futures"
+            );
+            assert_eq!(
+                stats.touches, stats.futures_created,
+                "{policy}: every future is touched exactly once"
+            );
+            assert_stats_consistent(&stats, &format!("{policy}/{threads}t"));
+        }
+    }
+}
+
+#[test]
+fn wide_flat_fanout_executes_every_task_once() {
+    const FUTURES: usize = 500;
+    for policy in SpawnPolicy::ALL {
+        let rt = Arc::new(Runtime::builder().threads(4).policy(policy).build());
+        let counter = Arc::new(AtomicU64::new(0));
+        let futures: Vec<_> = (0..FUTURES)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                rt.spawn_future(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i as u64
+                })
+            })
+            .collect();
+        let sum: u64 = futures.into_iter().map(|f| f.touch()).sum();
+        assert_eq!(sum, (0..FUTURES as u64).sum::<u64>(), "{policy}");
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            FUTURES as u64,
+            "{policy}: every body ran exactly once"
+        );
+        let stats = rt.stats();
+        assert_eq!(stats.futures_created, FUTURES as u64, "{policy}");
+        assert_eq!(stats.touches, FUTURES as u64, "{policy}");
+        assert_stats_consistent(&stats, &format!("flat fanout / {policy}"));
+    }
+}
+
+#[test]
+fn child_first_runs_nested_futures_inline() {
+    // Under the future-first (child-first) policy, a single-threaded
+    // runtime must run nested futures inline (there is nobody to steal
+    // them), which is exactly the paper's locality argument.
+    let rt = Arc::new(
+        Runtime::builder()
+            .threads(1)
+            .policy(SpawnPolicy::ChildFirst)
+            .build(),
+    );
+    assert_eq!(fib(&rt, 12), fib_reference(12));
+    let stats = rt.stats();
+    assert!(
+        stats.inline_fraction() > 0.5,
+        "child-first on one thread should inline most futures, got {}",
+        stats.inline_fraction()
+    );
+    assert_stats_consistent(&stats, "child-first inline");
+}
+
+#[test]
+fn helper_first_makes_futures_stealable() {
+    // Helper-first never runs futures inline at spawn; with several
+    // workers, steals (or injector pulls counted as executed tasks) must
+    // account for every future.
+    let rt = Arc::new(
+        Runtime::builder()
+            .threads(4)
+            .policy(SpawnPolicy::HelperFirst)
+            .build(),
+    );
+    assert_eq!(fib(&rt, 14), fib_reference(14));
+    let stats = rt.stats();
+    assert_eq!(
+        stats.inline_runs, 0,
+        "helper-first must not inline at spawn"
+    );
+    assert_eq!(
+        stats.tasks_executed, stats.futures_created,
+        "every queued future body executes exactly once"
+    );
+    assert_stats_consistent(&stats, "helper-first");
+}
+
+#[test]
+fn join_combines_both_results() {
+    for policy in SpawnPolicy::ALL {
+        let rt = Runtime::builder().threads(2).policy(policy).build();
+        let (a, b) = rt.join(|| 6 * 7, || "futures".len());
+        assert_eq!((a, b), (42, 7), "{policy}");
+    }
+}
+
+#[test]
+fn stats_snapshots_are_monotonic() {
+    let rt = Arc::new(Runtime::builder().threads(2).build());
+    let before = rt.stats();
+    let _ = fib(&rt, 10);
+    let after = rt.stats();
+    let delta = after.since(&before);
+    assert_eq!(
+        delta.futures_created,
+        after.futures_created - before.futures_created
+    );
+    assert!(delta.futures_created > 0);
+    assert_stats_consistent(&delta, "delta snapshot");
+}

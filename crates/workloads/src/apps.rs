@@ -183,6 +183,9 @@ mod tests {
         let seq = ParallelSimulator::new(SimConfig::new(1, 32, ForkPolicy::FutureFirst)).run(&dag);
         let par = ParallelSimulator::new(SimConfig::new(8, 32, ForkPolicy::FutureFirst)).run(&dag);
         assert!(seq.completed && par.completed);
-        assert!(par.makespan < seq.makespan, "8 processors shorten the makespan");
+        assert!(
+            par.makespan < seq.makespan,
+            "8 processors shorten the makespan"
+        );
     }
 }

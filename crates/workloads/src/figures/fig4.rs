@@ -46,7 +46,11 @@ mod tests {
         for depth in [0, 1, 3, 6] {
             let dag = fig4(depth, 2);
             let class = classify(&dag);
-            assert!(class.is_structured_single_touch(), "depth={depth}: {:?}", class.violations);
+            assert!(
+                class.is_structured_single_touch(),
+                "depth={depth}: {:?}",
+                class.violations
+            );
             assert_eq!(dag.num_threads(), depth + 1);
         }
     }

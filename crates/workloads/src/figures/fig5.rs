@@ -79,7 +79,10 @@ mod tests {
         let dag = fig5b(3);
         let class = classify(&dag);
         assert!(class.is_structured_single_touch(), "{:?}", class.violations);
-        assert!(!class.local_touch, "x is touched by the helper, not its creator");
+        assert!(
+            !class.local_touch,
+            "x is touched by the helper, not its creator"
+        );
         assert!(!class.fork_join);
     }
 

@@ -275,7 +275,10 @@ mod tests {
     use wsf_core::{ParallelSimulator, SimConfig};
     use wsf_dag::{classify, span};
 
-    fn run_adversarial(fig: &Fig6, cache_lines: usize) -> (wsf_core::SeqReport, wsf_core::ExecutionReport) {
+    fn run_adversarial(
+        fig: &Fig6,
+        cache_lines: usize,
+    ) -> (wsf_core::SeqReport, wsf_core::ExecutionReport) {
         let config = SimConfig {
             processors: fig.processors,
             cache_lines,

@@ -119,7 +119,14 @@ fn build_branch(
     // Split: the left branch is a new future thread touching the u_i
     // future; the right branch continues this thread touching the x_i one.
     let split = b.fork(thread);
-    build_branch(b, split.future_thread, fu.future_thread, depth - 1, n, chain);
+    build_branch(
+        b,
+        split.future_thread,
+        fu.future_thread,
+        depth - 1,
+        n,
+        chain,
+    );
     b.task(thread); // right child filler of the split fork
     build_branch(b, thread, fx.future_thread, depth - 1, n, chain);
 
@@ -131,7 +138,13 @@ fn build_branch(
 /// Grafts the Figure 7(a) gadget at the end of a leaf branch: the gate
 /// touches `incoming` and decides whether the `Z` chains interleave with
 /// the `y` joins.
-fn build_leaf_gadget(b: &mut DagBuilder, thread: ThreadId, incoming: ThreadId, n: usize, chain: usize) {
+fn build_leaf_gadget(
+    b: &mut DagBuilder,
+    thread: ThreadId,
+    incoming: ThreadId,
+    n: usize,
+    chain: usize,
+) {
     // u_k forks the gadget's s-thread.
     let uk = b.fork(thread);
     let st = uk.future_thread;
@@ -194,7 +207,10 @@ mod tests {
         let (s1, s2) = (span(&small.dag), span(&large.dag));
         // 8x more leaves, but the span only grows by the extra tree depth.
         assert!(large.leaves == 8 * small.leaves);
-        assert!(s2 < 2 * s1, "span should grow logarithmically: {s1} -> {s2}");
+        assert!(
+            s2 < 2 * s1,
+            "span should grow logarithmically: {s1} -> {s2}"
+        );
     }
 
     #[test]

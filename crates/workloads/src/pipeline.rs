@@ -57,8 +57,7 @@ pub fn pipeline(stages: usize, items: usize, work: usize) -> Dag {
     // The main thread consumes stage 1's items in order.
     let main = ThreadId::MAIN;
     b.task(main);
-    for item in 0..items {
-        let value = produced[1][item];
+    for (item, &value) in produced[1].iter().enumerate() {
         b.touch(main, value);
         let n = b.task(main);
         b.set_block(n, Block(item as u32));

@@ -83,7 +83,16 @@ fn grow(
             let f = b.fork(thread);
             *created += 1;
             let child_len = rng.gen_range(2..=(length / 2).max(3));
-            grow(b, f.future_thread, config, rng, depth - 1, child_len, created, budget);
+            grow(
+                b,
+                f.future_thread,
+                config,
+                rng,
+                depth - 1,
+                child_len,
+                created,
+                budget,
+            );
             pending.push(f.future_thread);
             since_fork = 0;
         } else {
@@ -96,7 +105,11 @@ fn grow(
             // Occasionally touch one of the pending futures (LIFO or FIFO at
             // random), as long as the previous node was not a fork.
             if !pending.is_empty() && rng.gen_bool(0.4) {
-                let idx = if rng.gen_bool(0.5) { pending.len() - 1 } else { 0 };
+                let idx = if rng.gen_bool(0.5) {
+                    pending.len() - 1
+                } else {
+                    0
+                };
                 let t = pending.remove(idx);
                 b.touch_thread(thread, t);
                 *created += 1;

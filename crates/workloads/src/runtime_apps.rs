@@ -49,10 +49,7 @@ where
             rt.spawn_future(move || map(w))
         })
         .collect();
-    futures
-        .into_iter()
-        .map(|f| f.touch())
-        .reduce(combine)
+    futures.into_iter().map(|f| f.touch()).reduce(combine)
 }
 
 /// A two-stage pipeline: a producer future computes a batch, a transformer

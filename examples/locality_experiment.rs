@@ -12,7 +12,10 @@ use wsf_dag::span;
 
 fn main() {
     println!("== Theorem 9 / Figure 6(a): future-first, one adversarial steal ==");
-    println!("{:>6} {:>8} {:>12} {:>12} {:>14}", "k", "T_inf", "deviations", "seq misses", "extra misses");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>14}",
+        "k", "T_inf", "deviations", "seq misses", "extra misses"
+    );
     for k in [8usize, 16, 32, 64] {
         let c = 16;
         let fig = Fig6::gadget(k, c);
@@ -38,7 +41,10 @@ fn main() {
 
     println!();
     println!("== Theorem 10 / Figure 7(b): parent-first vs future-first on the same DAG ==");
-    println!("{:>6} {:>14} {:>16} {:>16}", "n", "policy", "deviations", "extra misses");
+    println!(
+        "{:>6} {:>14} {:>16} {:>16}",
+        "n", "policy", "deviations", "extra misses"
+    );
     for n in [16usize, 32, 64] {
         let c = 16;
         let fig = Fig7b::new(8, n, c);
@@ -79,5 +85,7 @@ fn main() {
         );
     }
     println!();
-    println!("(See `cargo run -p wsf-bench --bin harness --release` for the full experiment suite.)");
+    println!(
+        "(See `cargo run -p wsf-bench --bin harness --release` for the full experiment suite.)"
+    );
 }

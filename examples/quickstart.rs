@@ -37,7 +37,9 @@ fn main() {
     );
 
     for policy in [ForkPolicy::FutureFirst, ForkPolicy::ParentFirst] {
-        let seq = SequentialExecutor::new(policy).with_cache_lines(8).run(&dag);
+        let seq = SequentialExecutor::new(policy)
+            .with_cache_lines(8)
+            .run(&dag);
         let par = ParallelSimulator::new(SimConfig {
             processors: 2,
             cache_lines: 8,

@@ -1,9 +1,18 @@
 //! Property-based tests over randomly generated structured computations.
+//!
+//! Case counts are bounded so the tier-1 suite finishes in seconds. For a
+//! deeper sweep either set `PROPTEST_CASES` (absolute override honoured by
+//! every property) or run the `#[ignore]`d heavy test explicitly:
+//! `cargo test --test proptest_invariants -- --ignored`.
 
 use proptest::prelude::*;
 use wsf::core::{ForkPolicy, ParallelSimulator, SequentialExecutor, SimConfig};
 use wsf::workloads::random::{random_single_touch, RandomConfig};
 use wsf_dag::{classify, is_descendant, span, topo_order, validate};
+
+/// Bounded default for tier-1; `PROPTEST_CASES` in the environment raises
+/// (or lowers) it for all properties at once.
+const QUICK_CASES: u32 = 12;
 
 fn arb_config() -> impl Strategy<Value = RandomConfig> {
     (
@@ -13,18 +22,20 @@ fn arb_config() -> impl Strategy<Value = RandomConfig> {
         any::<u64>(),
         2usize..32,
     )
-        .prop_map(|(target_nodes, max_depth, fork_probability, seed, blocks)| RandomConfig {
-            target_nodes,
-            max_depth,
-            fork_probability,
-            seed,
-            blocks,
-            ..RandomConfig::default()
-        })
+        .prop_map(
+            |(target_nodes, max_depth, fork_probability, seed, blocks)| RandomConfig {
+                target_nodes,
+                max_depth,
+                fork_probability,
+                seed,
+                blocks,
+                ..RandomConfig::default()
+            },
+        )
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(QUICK_CASES))]
 
     #[test]
     fn generated_dags_validate_and_classify(config in arb_config()) {
@@ -83,6 +94,47 @@ proptest! {
             // The future parent lies in the spawned thread.
             let ft = dag.future_thread_of_touch(touch).unwrap();
             prop_assert_eq!(dag.thread(ft).fork(), Some(fork));
+        }
+    }
+}
+
+// The heavy configuration: larger DAGs, more processors, more cases.
+// Gated behind `#[ignore]` so tier-1 stays fast; run it with
+// `cargo test --test proptest_invariants -- --ignored` (and optionally
+// `PROPTEST_CASES` to scale further).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(QUICK_CASES * 8))]
+
+    #[test]
+    #[ignore = "heavy sweep; run explicitly with -- --ignored"]
+    fn heavy_large_dags_agree_across_policies_and_processor_counts(
+        (seed, target_nodes) in (any::<u64>(), 1_000usize..4_000)
+    ) {
+        let dag = random_single_touch(&RandomConfig {
+            target_nodes,
+            seed,
+            ..RandomConfig::default()
+        });
+        prop_assert!(validate(&dag).is_ok());
+        prop_assert!(classify(&dag).is_structured_single_touch());
+        for policy in ForkPolicy::ALL {
+            let seq = SequentialExecutor::new(policy).with_cache_lines(16).run(&dag);
+            prop_assert_eq!(seq.order.len(), dag.num_nodes());
+            for p in [1usize, 2, 4, 8, 16] {
+                let report = ParallelSimulator::new(SimConfig {
+                    processors: p,
+                    cache_lines: 16,
+                    fork_policy: policy,
+                    ..SimConfig::default()
+                })
+                .run(&dag);
+                prop_assert!(report.completed);
+                prop_assert_eq!(report.executed(), dag.num_nodes() as u64);
+                if p == 1 {
+                    prop_assert_eq!(report.deviations(), 0);
+                    prop_assert_eq!(report.cache_misses(), seq.cache_misses());
+                }
+            }
         }
     }
 }

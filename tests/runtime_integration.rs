@@ -13,7 +13,10 @@ fn kernels_agree_with_references_across_policies_and_thread_counts() {
         for threads in [1usize, 2, 4] {
             let rt = Arc::new(Runtime::builder().threads(threads).policy(policy).build());
             assert_eq!(runtime_apps::fib(&rt, 18), 2_584);
-            assert_eq!(runtime_apps::sum(&rt, &data, 0, data.len(), 256), expected_sum);
+            assert_eq!(
+                runtime_apps::sum(&rt, &data, 0, data.len(), 256),
+                expected_sum
+            );
             let mr = runtime_apps::map_reduce(&rt, 24, |w| w as u64 + 1, |a, b| a + b);
             assert_eq!(mr, Some((1..=24u64).sum()));
             let out = runtime_apps::pipeline(&rt, 256);
@@ -21,7 +24,7 @@ fn kernels_agree_with_references_across_policies_and_thread_counts() {
             assert_eq!(out[5], 26);
             let stats = rt.stats();
             assert!(stats.futures_created > 0);
-            assert_eq!(stats.touches >= stats.futures_created, true);
+            assert!(stats.touches >= stats.futures_created);
         }
     }
 }
@@ -31,7 +34,9 @@ fn many_small_futures_from_an_external_thread() {
     // Futures created and touched from outside the pool exercise the
     // injector path and the blocking touch.
     let rt = Runtime::builder().threads(2).build();
-    let futures: Vec<_> = (0..200u64).map(|i| rt.defer_future(move || i * 3)).collect();
+    let futures: Vec<_> = (0..200u64)
+        .map(|i| rt.defer_future(move || i * 3))
+        .collect();
     let total: u64 = futures.into_iter().map(|f| f.touch()).sum();
     assert_eq!(total, 3 * (0..200u64).sum::<u64>());
 }

@@ -1,0 +1,61 @@
+//! Minimal offline stand-in for
+//! [`crossbeam-utils`](https://crates.io/crates/crossbeam-utils), providing
+//! only [`CachePadded`].
+
+#![warn(missing_docs)]
+
+/// Pads and aligns a value to 128 bytes so that concurrently updated
+/// neighbours (e.g. a deque's `top` and `bottom` indices) never share a
+/// cache line. 128 covers the spatial-prefetcher pair-line granularity of
+/// modern x86_64 and the line size of apple silicon.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CachePadded;
+
+    #[test]
+    fn alignment_and_access() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let mut p = CachePadded::new(5u64);
+        *p += 1;
+        assert_eq!(*p, 6);
+        assert_eq!(p.into_inner(), 6);
+    }
+}
