@@ -6,6 +6,8 @@
 //! benchmark harness prints them; `EXPERIMENTS.md` archives a run.
 
 use crate::fit::power_law_exponent;
+use crate::par::par_map;
+use crate::sweeps::{seed_sweep, SweepConfig};
 use crate::table::Table;
 use wsf_core::{
     bounds, ExecutionReport, ForkPolicy, ParallelSimulator, Scheduler, SeqReport,
@@ -80,31 +82,29 @@ pub fn e1_thm8_upper(scale: Scale) -> Vec<Table> {
             "steals",
         ],
     );
+    // One independent cell per (P, workload); sharded across threads and
+    // re-assembled in order, so the table is identical at any thread count.
+    let mut cells: Vec<(usize, Option<usize>)> = Vec::new();
     for &p in &procs {
-        for &d in &depths {
-            let dag = fig4(d, 4);
-            let sp = span(&dag);
-            let (seq, rep) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
-            t.push_row(vec![
-                format!("fig4(depth={d})"),
-                p.to_string(),
-                sp.to_string(),
-                rep.deviations().to_string(),
-                bounds::thm8_deviations(p as u64, sp).to_string(),
-                rep.additional_misses(&seq).to_string(),
-                bounds::thm8_additional_misses(c as u64, p as u64, sp).to_string(),
-                rep.steals().to_string(),
-            ]);
-        }
-        let dag = random_single_touch(&RandomConfig {
-            target_nodes: scale.pick(600, 4_000),
-            seed: 11,
-            ..RandomConfig::default()
-        });
+        cells.extend(depths.iter().map(|&d| (p, Some(d))));
+        cells.push((p, None));
+    }
+    let rows = par_map(cells, |(p, depth)| {
+        let (label, dag) = match depth {
+            Some(d) => (format!("fig4(depth={d})"), fig4(d, 4)),
+            None => (
+                "random-single-touch".to_string(),
+                random_single_touch(&RandomConfig {
+                    target_nodes: scale.pick(600, 4_000),
+                    seed: 11,
+                    ..RandomConfig::default()
+                }),
+            ),
+        };
         let sp = span(&dag);
         let (seq, rep) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
-        t.push_row(vec![
-            "random-single-touch".to_string(),
+        vec![
+            label,
             p.to_string(),
             sp.to_string(),
             rep.deviations().to_string(),
@@ -112,7 +112,10 @@ pub fn e1_thm8_upper(scale: Scale) -> Vec<Table> {
             rep.additional_misses(&seq).to_string(),
             bounds::thm8_additional_misses(c as u64, p as u64, sp).to_string(),
             rep.steals().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     vec![t]
 }
@@ -352,27 +355,37 @@ pub fn e5_local_touch(scale: Scale) -> Vec<Table> {
         ],
     );
     let c = 16usize;
-    for &(stages, items) in &scale.pick(
+    let procs = scale.pick(vec![2usize], vec![2, 4, 8]);
+    let shards = scale.pick(
         vec![(2usize, 3usize)],
         vec![(2, 8), (4, 8), (4, 16), (8, 16)],
-    ) {
+    );
+    // Shard per (stages, items): the DAG is generated once per shard and
+    // every P of the inner loop reuses it.
+    let rows = par_map(shards, |(stages, items)| {
         let dag = pipeline::pipeline(stages, items, 3);
         let class = classify(&dag);
         assert!(class.is_structured_local_touch());
         let sp = span(&dag);
-        for &p in &scale.pick(vec![2usize], vec![2, 4, 8]) {
-            let (seq, rep) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
-            t.push_row(vec![
-                stages.to_string(),
-                items.to_string(),
-                p.to_string(),
-                sp.to_string(),
-                rep.deviations().to_string(),
-                bounds::thm8_deviations(p as u64, sp).to_string(),
-                rep.additional_misses(&seq).to_string(),
-                bounds::thm8_additional_misses(c as u64, p as u64, sp).to_string(),
-            ]);
-        }
+        procs
+            .iter()
+            .map(|&p| {
+                let (seq, rep) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
+                vec![
+                    stages.to_string(),
+                    items.to_string(),
+                    p.to_string(),
+                    sp.to_string(),
+                    rep.deviations().to_string(),
+                    bounds::thm8_deviations(p as u64, sp).to_string(),
+                    rep.additional_misses(&seq).to_string(),
+                    bounds::thm8_additional_misses(c as u64, p as u64, sp).to_string(),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
     }
     vec![t]
 }
@@ -391,22 +404,29 @@ pub fn e6_super_final(scale: Scale) -> Vec<Table> {
         ],
     );
     let c = 16usize;
-    for &threads in &scale.pick(vec![4usize], vec![8, 32, 128]) {
+    let procs = scale.pick(vec![2usize], vec![2, 4, 8]);
+    let rows = par_map(scale.pick(vec![4usize], vec![8, 32, 128]), |threads| {
         let dag = side_effect_dag(threads, 6);
         let class = classify(&dag);
         assert!(class.structured && class.single_touch && class.super_final);
         let sp = span(&dag);
-        for &p in &scale.pick(vec![2usize], vec![2, 4, 8]) {
-            let (seq, rep) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
-            t.push_row(vec![
-                threads.to_string(),
-                p.to_string(),
-                sp.to_string(),
-                rep.deviations().to_string(),
-                bounds::thm8_deviations(p as u64, sp).to_string(),
-                rep.additional_misses(&seq).to_string(),
-            ]);
-        }
+        procs
+            .iter()
+            .map(|&p| {
+                let (seq, rep) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
+                vec![
+                    threads.to_string(),
+                    p.to_string(),
+                    sp.to_string(),
+                    rep.deviations().to_string(),
+                    bounds::thm8_deviations(p as u64, sp).to_string(),
+                    rep.additional_misses(&seq).to_string(),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
     }
     vec![t]
 }
@@ -504,19 +524,26 @@ pub fn e8_policy_comparison(scale: Scale) -> Vec<Table> {
             apps::matmul(scale.pick(2, 4), scale.pick(4, 8)),
         ),
     ];
-    for (name, dag) in workloads {
-        for &p in &scale.pick(vec![2usize], vec![2, 8]) {
-            let (ff_seq, ff) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
-            let (pf_seq, pf) = run_with(&dag, p, c, ForkPolicy::ParentFirst, None);
-            t.push_row(vec![
-                name.clone(),
-                p.to_string(),
-                ff.deviations().to_string(),
-                pf.deviations().to_string(),
-                ff.additional_misses(&ff_seq).to_string(),
-                pf.additional_misses(&pf_seq).to_string(),
-            ]);
-        }
+    let procs = scale.pick(vec![2usize], vec![2, 8]);
+    let rows = par_map(workloads, |(name, dag)| {
+        procs
+            .iter()
+            .map(|&p| {
+                let (ff_seq, ff) = run_with(&dag, p, c, ForkPolicy::FutureFirst, None);
+                let (pf_seq, pf) = run_with(&dag, p, c, ForkPolicy::ParentFirst, None);
+                vec![
+                    name.clone(),
+                    p.to_string(),
+                    ff.deviations().to_string(),
+                    pf.deviations().to_string(),
+                    ff.additional_misses(&ff_seq).to_string(),
+                    pf.additional_misses(&pf_seq).to_string(),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
     }
     vec![t]
 }
@@ -548,7 +575,7 @@ pub fn e9_applications(scale: Scale) -> Vec<Table> {
             pipeline::pipeline(4, scale.pick(4, 16), 4),
         ),
     ];
-    for (name, dag) in workloads {
+    let rows = par_map(workloads, |(name, dag)| {
         let class = classify(&dag);
         let label = if class.fork_join {
             "fork-join"
@@ -562,7 +589,7 @@ pub fn e9_applications(scale: Scale) -> Vec<Table> {
             "unstructured"
         };
         let (seq, rep) = run_with(&dag, 4, c, ForkPolicy::FutureFirst, None);
-        t.push_row(vec![
+        vec![
             name,
             dag.num_nodes().to_string(),
             span(&dag).to_string(),
@@ -570,7 +597,10 @@ pub fn e9_applications(scale: Scale) -> Vec<Table> {
             rep.deviations().to_string(),
             rep.additional_misses(&seq).to_string(),
             seq.cache_misses().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     vec![t]
 }
@@ -626,6 +656,19 @@ pub fn e10_runtime(scale: Scale) -> Vec<Table> {
     vec![t]
 }
 
+/// E11 — the bulk `(seed, P, policy, cache)` sweep over random structured
+/// single-touch DAGs (thread-sharded; see [`crate::sweeps`]).
+pub fn e11_bulk_sweep(scale: Scale) -> Vec<Table> {
+    let config = SweepConfig {
+        target_nodes: scale.pick(400, 20_000),
+        seeds: scale.pick(vec![1, 2], vec![0, 1, 2, 3]),
+        processors: scale.pick(vec![2, 4], vec![2, 4, 8]),
+        cache_lines: scale.pick(vec![8], vec![8, 16]),
+        ..SweepConfig::default()
+    };
+    vec![seed_sweep(&config)]
+}
+
 fn fib_reference(n: u64) -> u64 {
     let (mut a, mut b) = (0u64, 1u64);
     for _ in 0..n {
@@ -649,6 +692,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e8_policy_comparison(scale));
     tables.extend(e9_applications(scale));
     tables.extend(e10_runtime(scale));
+    tables.extend(e11_bulk_sweep(scale));
     tables
 }
 
@@ -672,6 +716,7 @@ pub fn registry() -> Vec<Experiment> {
         ("e8", "future-first vs parent-first", e8_policy_comparison),
         ("e9", "application workloads", e9_applications),
         ("e10", "real runtime", e10_runtime),
+        ("e11", "bulk random sweep (thread-sharded)", e11_bulk_sweep),
     ]
 }
 
@@ -701,11 +746,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 10);
+        assert_eq!(reg.len(), 11);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 10);
+        assert_eq!(ids.len(), 11);
     }
 
     #[test]

@@ -19,8 +19,12 @@
 
 pub mod experiments;
 pub mod fit;
+pub mod par;
+pub mod sweeps;
 pub mod table;
 
 pub use experiments::{registry, run_all, Scale};
 pub use fit::{mean_ratio, power_law_exponent};
+pub use par::{par_map, set_threads, threads};
+pub use sweeps::{seed_sweep, seed_sweep_cells, SweepCell, SweepConfig};
 pub use table::Table;

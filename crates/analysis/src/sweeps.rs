@@ -1,0 +1,178 @@
+//! Wide parameter sweeps over `(seed, P, policy, cache)` cells.
+//!
+//! The per-experiment tables in [`crate::experiments`] reproduce specific
+//! figures; this module provides the *bulk* sweep used to study large
+//! random DAG populations: every combination of workload seed, processor
+//! count, fork policy and cache size is simulated and summarized in one
+//! table.
+//!
+//! Three things make the sweep fast without changing a single measured
+//! number:
+//!
+//! * cells are sharded across threads with [`crate::par::par_map`] and the
+//!   table is assembled from the ordered results, so the output is
+//!   byte-identical at every thread count;
+//! * within one `(seed, policy, cache)` shard the sequential baseline is
+//!   computed once and shared by every `P` (it does not depend on `P`);
+//! * each shard reuses one [`SimScratch`], so repeated simulations allocate
+//!   nothing per step.
+
+use crate::par::par_map;
+use crate::table::Table;
+use wsf_core::{ForkPolicy, ParallelSimulator, RandomScheduler, SimConfig, SimScratch};
+use wsf_workloads::random::{random_single_touch, RandomConfig};
+
+/// Parameters of [`seed_sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Approximate node count of each random DAG.
+    pub target_nodes: usize,
+    /// Workload seeds; one random DAG is generated per seed.
+    pub seeds: Vec<u64>,
+    /// Processor counts to simulate.
+    pub processors: Vec<usize>,
+    /// Fork policies to simulate.
+    pub policies: Vec<ForkPolicy>,
+    /// Cache sizes (lines) to simulate.
+    pub cache_lines: Vec<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            target_nodes: 20_000,
+            seeds: vec![0, 1, 2, 3],
+            processors: vec![2, 4, 8],
+            policies: ForkPolicy::ALL.to_vec(),
+            cache_lines: vec![16],
+        }
+    }
+}
+
+/// One row of the sweep: the measured quantities of a single cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Workload seed.
+    pub seed: u64,
+    /// Fork policy.
+    pub policy: ForkPolicy,
+    /// Cache lines.
+    pub cache_lines: usize,
+    /// Processor count.
+    pub processors: usize,
+    /// Nodes in the generated DAG.
+    pub nodes: usize,
+    /// Deviations of the parallel execution.
+    pub deviations: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Cache misses beyond the sequential baseline.
+    pub additional_misses: u64,
+    /// Simulated makespan in steps.
+    pub makespan: u64,
+}
+
+/// Runs every `(seed, P, policy, cache)` cell of `config` and returns the
+/// rows in deterministic sweep order (seed-major, then policy, cache, P).
+pub fn seed_sweep_cells(config: &SweepConfig) -> Vec<SweepCell> {
+    // One shard per seed: the (expensive) DAG generation happens once per
+    // seed, each (policy, cache) pair computes its sequential baseline
+    // once and shares it across all processor counts, and the whole shard
+    // reuses one scratch for all its runs.
+    let rows = par_map(config.seeds.clone(), |seed| {
+        let dag = random_single_touch(&RandomConfig {
+            target_nodes: config.target_nodes,
+            seed,
+            ..RandomConfig::default()
+        });
+        let mut scratch = SimScratch::new();
+        let mut rows = Vec::new();
+        for &policy in &config.policies {
+            for &cache_lines in &config.cache_lines {
+                let mut seq = None;
+                for &processors in &config.processors {
+                    let cfg = SimConfig {
+                        processors,
+                        cache_lines,
+                        fork_policy: policy,
+                        ..SimConfig::default()
+                    };
+                    let sim = ParallelSimulator::new(cfg);
+                    let seq = seq.get_or_insert_with(|| sim.sequential(&dag));
+                    let mut sched = RandomScheduler::new(cfg.seed);
+                    let rep = sim.run_with_scratch(&dag, seq, &mut sched, false, &mut scratch);
+                    rows.push(SweepCell {
+                        seed,
+                        policy,
+                        cache_lines,
+                        processors,
+                        nodes: dag.num_nodes(),
+                        deviations: rep.deviations(),
+                        steals: rep.steals(),
+                        additional_misses: rep.additional_misses(seq),
+                        makespan: rep.makespan,
+                    });
+                }
+            }
+        }
+        rows
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// Runs [`seed_sweep_cells`] and renders the rows as a [`Table`].
+pub fn seed_sweep(config: &SweepConfig) -> Table {
+    let mut t = Table::new(
+        "Bulk sweep — random structured single-touch DAGs, every (seed, P, policy, C) cell",
+        &[
+            "seed",
+            "policy",
+            "C",
+            "P",
+            "nodes",
+            "deviations",
+            "steals",
+            "extra misses",
+            "makespan",
+        ],
+    );
+    for cell in seed_sweep_cells(config) {
+        t.push_row(vec![
+            cell.seed.to_string(),
+            cell.policy.to_string(),
+            cell.cache_lines.to_string(),
+            cell.processors.to_string(),
+            cell.nodes.to_string(),
+            cell.deviations.to_string(),
+            cell.steals.to_string(),
+            cell.additional_misses.to_string(),
+            cell.makespan.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_cell_in_order() {
+        let config = SweepConfig {
+            target_nodes: 400,
+            seeds: vec![1, 2],
+            processors: vec![2, 4],
+            policies: ForkPolicy::ALL.to_vec(),
+            cache_lines: vec![8],
+        };
+        let cells = seed_sweep_cells(&config);
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        // Seed-major order, then policy, then P.
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[0].processors, 2);
+        assert_eq!(cells[1].processors, 4);
+        assert_eq!(cells[4].seed, 2);
+        let table = seed_sweep(&config);
+        assert_eq!(table.len(), cells.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Measures the three hot paths of ISSUE 2 (simulator steps/sec, analysis
+//! sweep wall-clock, runtime injector latency) and prints one JSON object,
+//! the raw material of `BENCH_simulator.json`.
+//!
+//! ```text
+//! cargo run --release -p wsf-bench --bin bench_json
+//! ```
+//!
+//! Set `WSF_BENCH_SMOKE=1` for a seconds-fast smoke run (used by CI).
+
+use std::time::Instant;
+use wsf_analysis::{seed_sweep_cells, set_threads, SweepConfig};
+use wsf_core::{ParallelSimulator, RandomScheduler, SimConfig, SimScratch};
+use wsf_deque::Injector;
+use wsf_workloads::random::{random_single_touch, RandomConfig};
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Times `f` (after one warm-up call) and returns the median of `samples`
+/// wall-clock seconds.
+fn time_median<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    median(times)
+}
+
+/// The mutex-queue MPMC throughput baseline the lock-free injector
+/// replaced, kept for an on-the-same-machine comparison.
+fn mutex_queue_secs(ops: usize) -> f64 {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+    let q: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let q = &q;
+            s.spawn(move || {
+                for i in 0..ops / 2 {
+                    q.lock().unwrap().push_back(t * ops + i);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let q = &q;
+            s.spawn(move || {
+                let mut got = 0;
+                while got < ops / 2 {
+                    if q.lock().unwrap().pop_front().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    t.elapsed().as_secs_f64()
+}
+
+/// Same traffic through the lock-free [`Injector`].
+fn injector_secs(ops: usize) -> f64 {
+    let q: Injector<usize> = Injector::new();
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let q = &q;
+            s.spawn(move || {
+                for i in 0..ops / 2 {
+                    q.push(t * ops + i);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let q = &q;
+            s.spawn(move || {
+                let mut got = 0;
+                while got < ops / 2 {
+                    if q.steal().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::var("WSF_BENCH_SMOKE").is_ok();
+    let nodes = if smoke { 20_000 } else { 100_000 };
+    let samples = if smoke { 2 } else { 5 };
+
+    // --- simulator steps/sec on a large random single-touch DAG ---
+    let build_start = Instant::now();
+    let dag = random_single_touch(&RandomConfig {
+        target_nodes: nodes,
+        seed: 7,
+        blocks: 256,
+        ..RandomConfig::default()
+    });
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    let config = SimConfig {
+        processors: 8,
+        cache_lines: 16,
+        ..SimConfig::default()
+    };
+    let sim = ParallelSimulator::new(config);
+    let seq = sim.sequential(&dag);
+    let mut scratch = SimScratch::new();
+    let mut makespan = 0u64;
+    let sim_secs = time_median(samples, || {
+        let mut sched = RandomScheduler::new(config.seed);
+        let rep = sim.run_with_scratch(&dag, &seq, &mut sched, false, &mut scratch);
+        assert!(rep.completed);
+        makespan = rep.makespan;
+        rep.steals()
+    });
+
+    // --- analysis sweep wall-clock: the same (seed, P, policy) cells the
+    // seed-commit baseline measured, at 1 and at 4 threads ---
+    let sweep_config = SweepConfig {
+        target_nodes: if smoke { 4_000 } else { 20_000 },
+        seeds: vec![0, 1, 2, 3],
+        processors: vec![2, 4, 8],
+        cache_lines: vec![16],
+        ..SweepConfig::default()
+    };
+    let sweep_samples = if smoke { 1 } else { 3 };
+    set_threads(1);
+    let sweep_1t_secs = time_median(sweep_samples, || seed_sweep_cells(&sweep_config).len());
+    set_threads(4);
+    let sweep_4t_secs = time_median(sweep_samples, || seed_sweep_cells(&sweep_config).len());
+    set_threads(0);
+
+    // --- injector push/steal latency: mutex baseline vs lock-free ---
+    let ops = if smoke { 20_000 } else { 200_000 };
+    let injector_mutex_secs = time_median(samples, || mutex_queue_secs(ops));
+    let injector_lockfree_secs = time_median(samples, || injector_secs(ops));
+
+    let per_op = |secs: f64| secs * 1e9 / (2.0 * ops as f64);
+    println!("{{");
+    println!("  \"nodes\": {nodes},");
+    println!("  \"build_secs\": {build_secs:.4},");
+    println!("  \"sim_p8_secs\": {sim_secs:.4},");
+    println!("  \"sim_makespan_steps\": {makespan},");
+    println!(
+        "  \"sim_steps_per_sec\": {:.0},",
+        makespan as f64 / sim_secs
+    );
+    println!("  \"sim_nodes_per_sec\": {:.0},", nodes as f64 / sim_secs);
+    println!("  \"sweep_cells\": 24,");
+    println!("  \"sweep_1thread_secs\": {sweep_1t_secs:.4},");
+    println!("  \"sweep_4thread_secs\": {sweep_4t_secs:.4},");
+    println!("  \"injector_mutex_mpmc_secs\": {injector_mutex_secs:.4},");
+    println!(
+        "  \"injector_mutex_ns_per_op\": {:.1},",
+        per_op(injector_mutex_secs)
+    );
+    println!("  \"injector_lockfree_mpmc_secs\": {injector_lockfree_secs:.4},");
+    println!(
+        "  \"injector_lockfree_ns_per_op\": {:.1}",
+        per_op(injector_lockfree_secs)
+    );
+    println!("}}");
+}

@@ -1,24 +1,38 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! harness [--quick] [all|e1|e2|...|e10]...
+//! harness [--quick] [--threads N] [all|e1|e2|...|e11]...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` uses the reduced
 //! parameter sweeps (the sizes the test-suite uses); the default is the
-//! full sweep reported in `EXPERIMENTS.md`.
+//! full sweep reported in `EXPERIMENTS.md`. `--threads N` (or the
+//! `WSF_THREADS` environment variable) shards the sweeps across N worker
+//! threads; the tables are byte-identical at every thread count.
 
-use wsf_analysis::{registry, Scale};
+use wsf_analysis::{registry, set_threads, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(|a| a.to_lowercase())
-        .collect();
+    // Single pass: consume `--threads N` (last occurrence wins) and
+    // collect the experiment ids.
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => set_threads(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if !arg.starts_with('-') {
+            wanted.push(arg.to_lowercase());
+        }
+    }
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
     println!("# Well-Structured Futures and Cache Locality — experiment harness");

@@ -13,7 +13,11 @@
 //!   adversary reproducing the executions in the lower-bound proofs);
 //! * [`ExecutionReport`] exposes the quantities the paper's theorems bound:
 //!   deviations, steals and cache misses beyond the sequential execution;
-//! * [`bounds`] holds the theorem formulas themselves for comparison.
+//! * [`bounds`] holds the theorem formulas themselves for comparison;
+//! * [`SimScratch`] is the reusable buffer arena behind
+//!   [`ParallelSimulator::run_with_scratch`]: sweeps that simulate many
+//!   DAGs pass one scratch to every run and pay zero per-step heap
+//!   allocation in steady state (see the `alloc_free` integration test).
 //!
 //! ```
 //! use wsf_core::{ForkPolicy, ParallelSimulator, SequentialExecutor, SimConfig};
@@ -47,6 +51,7 @@ mod policy;
 mod ready;
 mod report;
 mod scheduler;
+mod scratch;
 mod sequential;
 
 pub use config::SimConfig;
@@ -57,4 +62,5 @@ pub use report::{ExecutionReport, ProcStats, SeqReport, TraceEvent};
 pub use scheduler::{
     GreedyScheduler, RandomScheduler, Scheduler, ScriptedScheduler, SleepDirective, WakeCondition,
 };
+pub use scratch::SimScratch;
 pub use sequential::SequentialExecutor;

@@ -14,30 +14,26 @@
 //! immediately after their predecessor in the sequential order, by the same
 //! processor), which are exactly the quantities bounded by the paper's
 //! theorems.
+//!
+//! The hot loop is allocation-free in steady state: every buffer lives in a
+//! [`SimScratch`] that callers may reuse across runs, the set of non-empty
+//! deques is maintained incrementally (so victim selection costs
+//! O(candidates), not O(P) plus an allocation), and the trace vector is
+//! pre-sized to the node count when tracing is requested.
 
 use crate::config::SimConfig;
 use crate::ready::{schedule_enabled, ReadyTracker};
-use crate::report::{ExecutionReport, ProcStats, SeqReport, TraceEvent};
+use crate::report::{ExecutionReport, SeqReport, TraceEvent};
 use crate::scheduler::{RandomScheduler, Scheduler};
+use crate::scratch::{NonEmptySet, Proc, SimScratch};
 use crate::sequential::SequentialExecutor;
-use wsf_cache::CacheSim;
 use wsf_dag::{Dag, NodeId};
-use wsf_deque::SimDeque;
 
 /// A simulated parallel execution of a computation DAG under parsimonious
 /// work stealing.
 #[derive(Copy, Clone, Debug)]
 pub struct ParallelSimulator {
     config: SimConfig,
-}
-
-struct Proc {
-    deque: SimDeque<NodeId>,
-    /// The node currently being executed and its remaining weight.
-    current: Option<(NodeId, u32)>,
-    last_completed: Option<NodeId>,
-    cache: CacheSim,
-    stats: ProcStats,
 }
 
 impl ParallelSimulator {
@@ -57,7 +53,9 @@ impl ParallelSimulator {
     pub fn run(&self, dag: &Dag) -> ExecutionReport {
         let seq = self.sequential(dag);
         let mut scheduler = RandomScheduler::new(self.config.seed);
-        self.run_against(dag, &seq, &mut scheduler, false)
+        let mut scratch = SimScratch::new();
+        // Concrete scheduler type: monomorphized, fully inlined loop.
+        self.run_with_scratch(dag, &seq, &mut scheduler, false, &mut scratch)
     }
 
     /// Runs the DAG with a caller-supplied scheduler (e.g. a scripted
@@ -88,19 +86,47 @@ impl ParallelSimulator {
         scheduler: &mut dyn Scheduler,
         record_trace: bool,
     ) -> ExecutionReport {
+        let mut scratch = SimScratch::new();
+        self.run_with_scratch(dag, seq, scheduler, record_trace, &mut scratch)
+    }
+
+    /// Like [`ParallelSimulator::run_against`], but reusing the buffers in
+    /// `scratch`. Sweeps that simulate many DAGs should create one scratch
+    /// and pass it to every run: after the first run no per-step (and, with
+    /// a stable configuration, almost no per-run) heap allocation happens.
+    ///
+    /// The method is generic over the scheduler type so concrete callers
+    /// (e.g. the analysis sweeps with a [`RandomScheduler`]) get a
+    /// monomorphized loop with the scheduler inlined — `is_awake` folds to
+    /// a constant for always-awake schedulers — while `&mut dyn Scheduler`
+    /// callers keep working unchanged.
+    pub fn run_with_scratch<S: Scheduler + ?Sized>(
+        &self,
+        dag: &Dag,
+        seq: &SeqReport,
+        scheduler: &mut S,
+        record_trace: bool,
+        scratch: &mut SimScratch,
+    ) -> ExecutionReport {
         let p_count = self.config.processors.max(1);
-        let seq_prev = seq.predecessors();
-        let mut tracker = ReadyTracker::new(dag);
-        let mut procs: Vec<Proc> = (0..p_count)
-            .map(|_| Proc {
-                deque: SimDeque::new(),
-                current: None,
-                last_completed: None,
-                cache: CacheSim::new(self.config.cache_policy, self.config.cache_lines),
-                stats: ProcStats::default(),
-            })
-            .collect();
-        let mut trace = if record_trace { Some(Vec::new()) } else { None };
+        scratch.reset_procs(p_count, self.config.cache_policy, self.config.cache_lines);
+        seq.predecessors_into(&mut scratch.seq_prev);
+        scratch.tracker.reset(dag);
+        let SimScratch {
+            procs,
+            nonempty,
+            candidates,
+            enabled,
+            seq_prev,
+            tracker,
+            ..
+        } = scratch;
+
+        let mut trace = if record_trace {
+            Some(Vec::with_capacity(dag.num_nodes()))
+        } else {
+            None
+        };
 
         // The computation starts with the root node on processor 0.
         procs[0].current = Some((dag.root(), dag.node(dag.root()).weight()));
@@ -114,6 +140,20 @@ impl ParallelSimulator {
             let mut progressed = false;
 
             for p in 0..p_count {
+                // Fast path: an idle processor with nothing to steal does
+                // nothing this step no matter what the scheduler says, so
+                // skip the scheduler calls entirely. (`is_awake` and
+                // `choose_victim` are queries; deferring them over a no-op
+                // step is unobservable — sleep conditions are monotone and
+                // no scheduler consumes randomness on an empty candidate
+                // list.)
+                if procs[p].current.is_none() {
+                    let members = nonempty.members();
+                    let no_victims = members.is_empty() || (members.len() == 1 && members[0] == p);
+                    if no_victims {
+                        continue;
+                    }
+                }
                 if !scheduler.is_awake(p, step) {
                     continue;
                 }
@@ -126,9 +166,11 @@ impl ParallelSimulator {
                             procs[p].current = None;
                             self.complete(
                                 dag,
-                                &mut tracker,
+                                tracker,
                                 &mut procs[p],
-                                &seq_prev,
+                                seq_prev,
+                                enabled,
+                                nonempty,
                                 scheduler,
                                 p,
                                 node,
@@ -141,13 +183,18 @@ impl ParallelSimulator {
                     None => {
                         // Idle processor: its own deque is drained at
                         // completion time, so the only way to obtain work is
-                        // to steal from the top of another processor's deque.
-                        let candidates: Vec<usize> = (0..p_count)
-                            .filter(|&q| q != p && !procs[q].deque.is_empty())
-                            .collect();
-                        match scheduler.choose_victim(p, &candidates) {
-                            Some(victim) if candidates.contains(&victim) => {
+                        // to steal from the top of another processor's
+                        // deque. The candidate list is copied from the
+                        // incrementally-maintained non-empty set (ascending
+                        // processor order, O(candidates), no allocation).
+                        candidates.clear();
+                        candidates.extend(nonempty.members().iter().copied().filter(|&q| q != p));
+                        match scheduler.choose_victim(p, candidates) {
+                            // Validate the choice by membership instead of a
+                            // linear re-scan of the candidate list.
+                            Some(victim) if victim != p && nonempty.contains(victim) => {
                                 let stolen = procs[victim].deque.steal_top();
+                                nonempty.sync(victim, !procs[victim].deque.is_empty());
                                 match stolen {
                                     Some(node) => {
                                         procs[p].current = Some((node, dag.node(node).weight()));
@@ -173,8 +220,13 @@ impl ParallelSimulator {
             step += 1;
         }
 
+        // Cache statistics are folded into the per-processor stats once per
+        // run, not once per completion.
+        for proc in procs.iter_mut() {
+            proc.stats.cache = proc.cache.stats();
+        }
         ExecutionReport {
-            per_proc: procs.into_iter().map(|p| p.stats).collect(),
+            per_proc: procs.iter().map(|p| p.stats.clone()).collect(),
             makespan,
             completed: tracker.executed_count() == total,
             trace,
@@ -182,13 +234,15 @@ impl ParallelSimulator {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn complete(
+    fn complete<S: Scheduler + ?Sized>(
         &self,
         dag: &Dag,
         tracker: &mut ReadyTracker,
         proc: &mut Proc,
         seq_prev: &[Option<NodeId>],
-        scheduler: &mut dyn Scheduler,
+        enabled: &mut Vec<NodeId>,
+        nonempty: &mut NonEmptySet,
+        scheduler: &mut S,
         p: usize,
         node: NodeId,
         step: u64,
@@ -212,8 +266,8 @@ impl ParallelSimulator {
             });
         }
 
-        let enabled = tracker.complete(dag, node);
-        let cont = schedule_enabled(dag, node, &enabled, self.config.fork_policy);
+        tracker.complete_into(dag, node, enabled);
+        let cont = schedule_enabled(dag, node, enabled, self.config.fork_policy);
         if let Some(push) = cont.push {
             proc.deque.push_bottom(push);
         }
@@ -221,7 +275,7 @@ impl ParallelSimulator {
         // of the own deque (the parsimonious rule).
         let next = cont.next.or_else(|| proc.deque.pop_bottom());
         proc.current = next.map(|n| (n, dag.node(n).weight()));
-        proc.stats.cache = proc.cache.stats();
+        nonempty.sync(p, !proc.deque.is_empty());
 
         scheduler.on_complete(p, node, step);
     }
@@ -318,6 +372,37 @@ mod tests {
         assert_eq!(a.cache_misses(), b.cache_misses());
         assert_eq!(a.steals(), b.steals());
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_state() {
+        // The same (dag, seed, config) run through one reused scratch must
+        // produce exactly the report a fresh-state run produces — including
+        // across intervening runs with different configurations.
+        let dag = fork_tree(5);
+        let mut scratch = SimScratch::new();
+        for processors in [1usize, 3, 4] {
+            for policy in ForkPolicy::ALL {
+                let config = SimConfig {
+                    processors,
+                    fork_policy: policy,
+                    seed: 7,
+                    ..SimConfig::default()
+                };
+                let sim = ParallelSimulator::new(config);
+                let seq = sim.sequential(&dag);
+                let mut fresh_sched = RandomScheduler::new(config.seed);
+                let fresh = sim.run_against(&dag, &seq, &mut fresh_sched, true);
+                let mut reused_sched = RandomScheduler::new(config.seed);
+                let reused =
+                    sim.run_with_scratch(&dag, &seq, &mut reused_sched, true, &mut scratch);
+                assert_eq!(fresh.makespan, reused.makespan);
+                assert_eq!(fresh.deviations(), reused.deviations());
+                assert_eq!(fresh.steals(), reused.steals());
+                assert_eq!(fresh.cache_misses(), reused.cache_misses());
+                assert_eq!(fresh.trace, reused.trace, "identical node-by-node order");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,17 @@ pub struct ReadyTracker {
     executed_count: usize,
 }
 
+impl Default for ReadyTracker {
+    /// An empty tracker; call [`ReadyTracker::reset`] before use.
+    fn default() -> Self {
+        ReadyTracker {
+            remaining: Vec::new(),
+            executed: Vec::new(),
+            executed_count: 0,
+        }
+    }
+}
+
 impl ReadyTracker {
     /// Creates a tracker for `dag` with nothing executed yet.
     pub fn new(dag: &Dag) -> Self {
@@ -45,6 +56,19 @@ impl ReadyTracker {
     /// Marks `node` executed and returns its children that became ready as
     /// a consequence, in out-edge order.
     pub fn complete(&mut self, dag: &Dag, node: NodeId) -> Vec<NodeId> {
+        let mut enabled = Vec::with_capacity(2);
+        self.complete_into(dag, node, &mut enabled);
+        enabled
+    }
+
+    /// Marks `node` executed and writes its newly-ready children into
+    /// `enabled` (cleared first), in out-edge order.
+    ///
+    /// This is the allocation-free variant of [`ReadyTracker::complete`]:
+    /// the executors call it with a buffer they reuse across completions, so
+    /// the hot loop performs no per-node heap allocation once the buffer has
+    /// grown to its steady-state capacity.
+    pub fn complete_into(&mut self, dag: &Dag, node: NodeId, enabled: &mut Vec<NodeId>) {
         debug_assert!(
             self.remaining[node.index()] == 0,
             "completing a node whose dependencies have not run"
@@ -52,7 +76,7 @@ impl ReadyTracker {
         debug_assert!(!self.executed[node.index()], "node completed twice");
         self.executed[node.index()] = true;
         self.executed_count += 1;
-        let mut enabled = Vec::with_capacity(2);
+        enabled.clear();
         for e in dag.node(node).out_edges() {
             let r = &mut self.remaining[e.node.index()];
             *r -= 1;
@@ -60,7 +84,21 @@ impl ReadyTracker {
                 enabled.push(e.node);
             }
         }
-        enabled
+    }
+
+    /// Re-initializes the tracker for `dag`, reusing the existing storage.
+    ///
+    /// Equivalent to `*self = ReadyTracker::new(dag)` but without allocating
+    /// when the tracker's buffers already have enough capacity, which lets a
+    /// [`crate::SimScratch`] run many simulations with zero steady-state
+    /// heap traffic.
+    pub fn reset(&mut self, dag: &Dag) {
+        self.remaining.clear();
+        self.remaining
+            .extend(dag.node_ids().map(|id| dag.node(id).in_degree() as u32));
+        self.executed.clear();
+        self.executed.resize(dag.num_nodes(), false);
+        self.executed_count = 0;
     }
 }
 

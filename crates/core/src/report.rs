@@ -26,17 +26,25 @@ impl SeqReport {
     /// sequential order (`None` for the first node). Indexed by
     /// `NodeId::index`.
     pub fn predecessors(&self) -> Vec<Option<NodeId>> {
+        let mut prev = Vec::new();
+        self.predecessors_into(&mut prev);
+        prev
+    }
+
+    /// Writes the predecessor table into `prev` (cleared first), reusing its
+    /// storage. See [`SeqReport::predecessors`].
+    pub fn predecessors_into(&self, prev: &mut Vec<Option<NodeId>>) {
         let max_index = self
             .order
             .iter()
             .map(|n| n.index())
             .max()
             .map_or(0, |m| m + 1);
-        let mut prev = vec![None; max_index];
+        prev.clear();
+        prev.resize(max_index, None);
         for pair in self.order.windows(2) {
             prev[pair[1].index()] = Some(pair[0]);
         }
-        prev
     }
 }
 

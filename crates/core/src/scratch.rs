@@ -1,0 +1,187 @@
+//! Reusable simulation state, so repeated runs allocate nothing per step.
+//!
+//! A [`SimScratch`] owns every buffer [`crate::ParallelSimulator`] needs
+//! during a run: the per-processor deques and caches, the readiness
+//! tracker, the sequential-predecessor table, the steal-candidate list and
+//! the set of processors with non-empty deques. A sweep that simulates the
+//! same (or similarly sized) DAGs over and over passes one scratch to
+//! [`crate::ParallelSimulator::run_with_scratch`] and pays for allocation
+//! only until every buffer reaches its steady-state capacity — after that,
+//! a whole run performs O(1) allocations (the returned report) and a step
+//! performs none.
+
+use crate::ready::ReadyTracker;
+use crate::report::ProcStats;
+use wsf_cache::{CachePolicy, CacheSim};
+use wsf_dag::NodeId;
+use wsf_deque::SimDeque;
+
+/// Per-processor simulation state (deque, current node, private cache).
+pub(crate) struct Proc {
+    pub(crate) deque: SimDeque<NodeId>,
+    /// The node currently being executed and its remaining weight.
+    pub(crate) current: Option<(NodeId, u32)>,
+    pub(crate) last_completed: Option<NodeId>,
+    pub(crate) cache: CacheSim,
+    pub(crate) stats: ProcStats,
+}
+
+/// The set of processors whose deques are non-empty, maintained
+/// incrementally as pushes, pops and steals happen.
+///
+/// Membership is a boolean per processor (O(1) queries — this is how the
+/// simulator validates a scheduler's victim choice) and the members
+/// themselves are kept in a sorted vector so the candidate list handed to
+/// [`crate::Scheduler::choose_victim`] is produced in ascending processor
+/// order, exactly as the previous rebuild-every-step code did, in
+/// O(candidates) time and with zero allocation.
+#[derive(Default)]
+pub(crate) struct NonEmptySet {
+    members: Vec<usize>,
+    present: Vec<bool>,
+}
+
+impl NonEmptySet {
+    /// Empties the set and re-sizes it for `n` processors.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.members.clear();
+        self.members.reserve(n);
+        self.present.clear();
+        self.present.resize(n, false);
+    }
+
+    /// Whether processor `q` currently has a non-empty deque.
+    #[inline]
+    pub(crate) fn contains(&self, q: usize) -> bool {
+        self.present.get(q).copied().unwrap_or(false)
+    }
+
+    /// The members in ascending order.
+    #[inline]
+    pub(crate) fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Records whether `q`'s deque is non-empty after an operation on it.
+    pub(crate) fn sync(&mut self, q: usize, nonempty: bool) {
+        if self.present[q] == nonempty {
+            return;
+        }
+        self.present[q] = nonempty;
+        let pos = self.members.partition_point(|&m| m < q);
+        if nonempty {
+            self.members.insert(pos, q);
+        } else {
+            self.members.remove(pos);
+        }
+    }
+}
+
+/// Reusable buffers for [`crate::ParallelSimulator::run_with_scratch`].
+///
+/// Create one with [`SimScratch::new`] and pass it to every run of a sweep;
+/// the buffers are re-initialized (not re-allocated) per run. The scratch
+/// remembers the cache configuration its processors were built with and
+/// transparently rebuilds them when a run uses a different configuration.
+///
+/// ```
+/// use wsf_core::{ForkPolicy, ParallelSimulator, RandomScheduler, SimConfig, SimScratch};
+/// use wsf_dag::DagBuilder;
+///
+/// let mut b = DagBuilder::new();
+/// let main = b.main_thread();
+/// let f = b.fork(main);
+/// b.chain(f.future_thread, 3);
+/// b.task(main);
+/// b.touch_thread(main, f.future_thread);
+/// b.task(main);
+/// let dag = b.finish().unwrap();
+///
+/// let sim = ParallelSimulator::new(SimConfig::new(2, 8, ForkPolicy::FutureFirst));
+/// let seq = sim.sequential(&dag);
+/// let mut scratch = SimScratch::new();
+/// for seed in 0..4 {
+///     let mut sched = RandomScheduler::new(seed);
+///     let report = sim.run_with_scratch(&dag, &seq, &mut sched, false, &mut scratch);
+///     assert!(report.completed);
+/// }
+/// ```
+#[derive(Default)]
+pub struct SimScratch {
+    pub(crate) procs: Vec<Proc>,
+    pub(crate) nonempty: NonEmptySet,
+    pub(crate) candidates: Vec<usize>,
+    pub(crate) enabled: Vec<NodeId>,
+    pub(crate) seq_prev: Vec<Option<NodeId>>,
+    pub(crate) tracker: ReadyTracker,
+    /// The `(policy, lines)` the current `procs` caches were built with.
+    cache_config: Option<(CachePolicy, usize)>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Prepares the per-processor state for a run with `p_count` processors
+    /// and the given cache configuration, reusing existing storage when the
+    /// configuration matches.
+    pub(crate) fn reset_procs(&mut self, p_count: usize, policy: CachePolicy, lines: usize) {
+        if self.cache_config != Some((policy, lines)) || self.procs.len() != p_count {
+            self.procs.clear();
+            self.procs.extend((0..p_count).map(|_| Proc {
+                deque: SimDeque::new(),
+                current: None,
+                last_completed: None,
+                cache: CacheSim::new(policy, lines),
+                stats: ProcStats::default(),
+            }));
+            self.cache_config = Some((policy, lines));
+        } else {
+            for proc in &mut self.procs {
+                proc.deque.clear();
+                proc.current = None;
+                proc.last_completed = None;
+                proc.cache.reset();
+                proc.stats = ProcStats::default();
+            }
+        }
+        self.nonempty.reset(p_count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonempty_set_keeps_members_sorted() {
+        let mut s = NonEmptySet::default();
+        s.reset(8);
+        for q in [5, 1, 7, 3] {
+            s.sync(q, true);
+        }
+        assert_eq!(s.members(), &[1, 3, 5, 7]);
+        assert!(s.contains(5) && !s.contains(0));
+        s.sync(5, false);
+        s.sync(5, false); // idempotent
+        assert_eq!(s.members(), &[1, 3, 7]);
+        s.sync(1, true); // already present: no duplicate
+        assert_eq!(s.members(), &[1, 3, 7]);
+        assert!(!s.contains(9), "out-of-range queries are false");
+    }
+
+    #[test]
+    fn reset_procs_reuses_matching_config() {
+        let mut scratch = SimScratch::new();
+        scratch.reset_procs(4, CachePolicy::Lru, 8);
+        scratch.procs[2].stats.steals = 9;
+        scratch.reset_procs(4, CachePolicy::Lru, 8);
+        assert_eq!(scratch.procs.len(), 4);
+        assert_eq!(scratch.procs[2].stats.steals, 0, "stats cleared on reuse");
+        scratch.reset_procs(2, CachePolicy::Lru, 16);
+        assert_eq!(scratch.procs.len(), 2);
+        assert_eq!(scratch.procs[0].cache.capacity(), 16);
+    }
+}

@@ -62,12 +62,13 @@ impl SequentialExecutor {
         let mut order = Vec::with_capacity(dag.num_nodes());
 
         let mut current = Some(dag.root());
+        let mut enabled = Vec::with_capacity(2);
         while let Some(node) = current {
             debug_assert!(tracker.is_ready(node), "executing a non-ready node");
             cache.access_opt(dag.block_of(node).map(|b| b.0));
             order.push(node);
 
-            let enabled = tracker.complete(dag, node);
+            tracker.complete_into(dag, node, &mut enabled);
             let cont = schedule_enabled(dag, node, &enabled, self.fork_policy);
             if let Some(push) = cont.push {
                 deque.push_bottom(push);

@@ -1,0 +1,135 @@
+//! Proves the simulator hot path is allocation-free in steady state.
+//!
+//! A counting global allocator tracks this thread's allocations. After a
+//! warm-up run that grows every [`SimScratch`] buffer to capacity, a full
+//! `run_with_scratch` must perform only the O(1) allocations of the
+//! returned report — a count that is tiny and, crucially, *independent of
+//! the DAG size and step count*, which is only possible if zero
+//! allocations happen per step.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use wsf_core::{ParallelSimulator, RandomScheduler, SimConfig, SimScratch};
+use wsf_workloads::random::{random_single_touch, RandomConfig};
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The system allocator plus a per-thread allocation counter (per-thread so
+/// the test harness's other threads cannot disturb the measurement).
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter update allocates
+// nothing (a `const`-initialized thread-local `Cell<u64>`).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Runs the simulator once with `scratch` and returns how many allocations
+/// the run performed on this thread.
+fn measured_run(
+    sim: &ParallelSimulator,
+    dag: &wsf_dag::Dag,
+    seq: &wsf_core::SeqReport,
+    scratch: &mut SimScratch,
+) -> u64 {
+    let mut sched = RandomScheduler::new(sim.config().seed);
+    let before = allocs();
+    let report = sim.run_with_scratch(dag, seq, &mut sched, false, scratch);
+    let count = allocs() - before;
+    assert!(report.completed);
+    count
+}
+
+#[test]
+fn steady_state_runs_do_not_allocate_per_step() {
+    let config = SimConfig {
+        processors: 8,
+        cache_lines: 16,
+        ..SimConfig::default()
+    };
+    let sim = ParallelSimulator::new(config);
+
+    // Largest DAG first, so its warm-up grows every buffer to the maximum
+    // capacity any later run needs.
+    let large = random_single_touch(&RandomConfig {
+        target_nodes: 30_000,
+        seed: 5,
+        ..RandomConfig::default()
+    });
+    let small = random_single_touch(&RandomConfig {
+        target_nodes: 5_000,
+        seed: 6,
+        ..RandomConfig::default()
+    });
+    let seq_large = sim.sequential(&large);
+    let seq_small = sim.sequential(&small);
+
+    let mut scratch = SimScratch::new();
+    let _warm = measured_run(&sim, &large, &seq_large, &mut scratch);
+
+    let steady_large = measured_run(&sim, &large, &seq_large, &mut scratch);
+    let steady_small = measured_run(&sim, &small, &seq_small, &mut scratch);
+    let steady_large_again = measured_run(&sim, &large, &seq_large, &mut scratch);
+
+    // The only remaining allocations are the O(1) construction of the
+    // returned report (its per-processor stats vector).
+    assert!(
+        steady_large <= 4,
+        "steady-state run allocated {steady_large} times; the hot loop must not allocate"
+    );
+    assert_eq!(
+        steady_large, steady_large_again,
+        "steady-state allocation count must be stable"
+    );
+    assert_eq!(
+        steady_large, steady_small,
+        "allocation count must be independent of DAG size ({steady_large} vs {steady_small} \
+         for 30k- vs 5k-node DAGs) — anything else means per-step or per-node allocation"
+    );
+}
+
+#[test]
+fn fresh_scratch_amortizes_after_first_run() {
+    // Even without pre-warming, the second identical run through one
+    // scratch allocates only the O(1) report.
+    let config = SimConfig {
+        processors: 4,
+        ..SimConfig::default()
+    };
+    let sim = ParallelSimulator::new(config);
+    let dag = random_single_touch(&RandomConfig {
+        target_nodes: 8_000,
+        seed: 9,
+        ..RandomConfig::default()
+    });
+    let seq = sim.sequential(&dag);
+    let mut scratch = SimScratch::new();
+    let first = measured_run(&sim, &dag, &seq, &mut scratch);
+    let second = measured_run(&sim, &dag, &seq, &mut scratch);
+    assert!(second <= 4, "second run allocated {second} times");
+    assert!(
+        first > second,
+        "first run ({first}) must be the one paying the buffer growth"
+    );
+}

@@ -3,6 +3,61 @@
 use crate::edge::{Edge, EdgeKind};
 use crate::ids::{Block, NodeId, ThreadId};
 
+/// An edge list that stores up to two edges inline and spills to the heap
+/// only beyond that.
+///
+/// Degrees in the paper's DAG model are at most two for every node except a
+/// super final node, so with inline storage building a DAG performs no
+/// heap allocation per node — the dominant cost of constructing the
+/// 10^5–10^6-node graphs the scale experiments use. The spilled
+/// representation keeps super-final in-degrees unbounded.
+#[derive(Clone, Debug)]
+enum EdgeList {
+    Inline { len: u8, edges: [Edge; 2] },
+    Spilled(Vec<Edge>),
+}
+
+impl EdgeList {
+    /// A placeholder occupying unused inline slots; never observable, since
+    /// `as_slice` exposes only the first `len` entries.
+    const UNUSED: Edge = Edge {
+        node: NodeId(u32::MAX),
+        kind: EdgeKind::Continuation,
+    };
+
+    const fn new() -> Self {
+        EdgeList::Inline {
+            len: 0,
+            edges: [Self::UNUSED; 2],
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Edge] {
+        match self {
+            EdgeList::Inline { len, edges } => &edges[..*len as usize],
+            EdgeList::Spilled(v) => v,
+        }
+    }
+
+    fn push(&mut self, edge: Edge) {
+        match self {
+            EdgeList::Inline { len, edges } => {
+                if (*len as usize) < edges.len() {
+                    edges[*len as usize] = edge;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(4);
+                    v.extend_from_slice(&edges[..]);
+                    v.push(edge);
+                    *self = EdgeList::Spilled(v);
+                }
+            }
+            EdgeList::Spilled(v) => v.push(edge),
+        }
+    }
+}
+
 /// Data stored for a single node (unit task) of the computation DAG.
 ///
 /// A node belongs to exactly one thread, optionally accesses one memory
@@ -18,8 +73,8 @@ pub struct NodeData {
     /// this many steps to execute the node; the paper's model uses unit
     /// tasks, so anything other than 1 is an extension.
     weight: u32,
-    out_edges: Vec<Edge>,
-    in_edges: Vec<Edge>,
+    out_edges: EdgeList,
+    in_edges: EdgeList,
 }
 
 impl NodeData {
@@ -29,8 +84,8 @@ impl NodeData {
             thread,
             block: None,
             weight: 1,
-            out_edges: Vec::new(),
-            in_edges: Vec::new(),
+            out_edges: EdgeList::new(),
+            in_edges: EdgeList::new(),
         }
     }
 
@@ -55,30 +110,30 @@ impl NodeData {
     /// Outgoing edges, in insertion order.
     #[inline]
     pub fn out_edges(&self) -> &[Edge] {
-        &self.out_edges
+        self.out_edges.as_slice()
     }
 
     /// Incoming edges, in insertion order.
     #[inline]
     pub fn in_edges(&self) -> &[Edge] {
-        &self.in_edges
+        self.in_edges.as_slice()
     }
 
     /// Out-degree of the node.
     #[inline]
     pub fn out_degree(&self) -> usize {
-        self.out_edges.len()
+        self.out_edges.as_slice().len()
     }
 
     /// In-degree of the node.
     #[inline]
     pub fn in_degree(&self) -> usize {
-        self.in_edges.len()
+        self.in_edges.as_slice().len()
     }
 
     /// The continuation successor (next node of the same thread), if any.
     pub fn continuation_successor(&self) -> Option<NodeId> {
-        self.out_edges
+        self.out_edges()
             .iter()
             .find(|e| e.kind == EdgeKind::Continuation)
             .map(|e| e.node)
@@ -87,7 +142,7 @@ impl NodeData {
     /// The continuation predecessor (previous node of the same thread), if
     /// any.
     pub fn continuation_predecessor(&self) -> Option<NodeId> {
-        self.in_edges
+        self.in_edges()
             .iter()
             .find(|e| e.kind == EdgeKind::Continuation)
             .map(|e| e.node)
@@ -96,7 +151,7 @@ impl NodeData {
     /// The future (spawn) successor, i.e. the first node of the thread this
     /// node forks, if this node is a fork.
     pub fn future_successor(&self) -> Option<NodeId> {
-        self.out_edges
+        self.out_edges()
             .iter()
             .find(|e| e.kind == EdgeKind::Future)
             .map(|e| e.node)
@@ -104,7 +159,7 @@ impl NodeData {
 
     /// The touch successors: touch nodes whose value this node supplies.
     pub fn touch_successors(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_edges
+        self.out_edges()
             .iter()
             .filter(|e| e.kind == EdgeKind::Touch)
             .map(|e| e.node)
@@ -113,7 +168,7 @@ impl NodeData {
     /// The touch predecessor (the *future parent*) of this node, if this
     /// node is a touch.
     pub fn touch_predecessor(&self) -> Option<NodeId> {
-        self.in_edges
+        self.in_edges()
             .iter()
             .find(|e| e.kind == EdgeKind::Touch)
             .map(|e| e.node)
@@ -122,20 +177,20 @@ impl NodeData {
     /// Whether the node is a fork: it has an outgoing future edge.
     #[inline]
     pub fn is_fork(&self) -> bool {
-        self.out_edges.iter().any(|e| e.kind == EdgeKind::Future)
+        self.out_edges().iter().any(|e| e.kind == EdgeKind::Future)
     }
 
     /// Whether the node is a touch (or join) node: it has an incoming touch
     /// edge.
     #[inline]
     pub fn is_touch(&self) -> bool {
-        self.in_edges.iter().any(|e| e.kind == EdgeKind::Touch)
+        self.in_edges().iter().any(|e| e.kind == EdgeKind::Touch)
     }
 
     /// Whether the node is a future parent: it has an outgoing touch edge.
     #[inline]
     pub fn is_future_parent(&self) -> bool {
-        self.out_edges.iter().any(|e| e.kind == EdgeKind::Touch)
+        self.out_edges().iter().any(|e| e.kind == EdgeKind::Touch)
     }
 
     pub(crate) fn set_block(&mut self, block: Option<Block>) {

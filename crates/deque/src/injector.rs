@@ -1,0 +1,365 @@
+//! A lock-free MPMC injector queue for external task submission.
+//!
+//! The runtime's workers each own a Chase–Lev deque ([`crate::chase_lev`]),
+//! but tasks submitted from *outside* the pool need a queue any thread may
+//! push to and any worker may steal from. This module provides that as an
+//! unbounded segmented FIFO in the style of crossbeam's `SegQueue` /
+//! `Injector`: a singly-linked list of fixed-size segments, with producers
+//! claiming slots by a fetch-add on the tail segment's push cursor and
+//! consumers claiming them by a CAS loop on the head segment's pop cursor.
+//! Push and steal are lock-free: a stalled thread can delay only the
+//! consumer that claimed the very slot it is mid-publishing (as in
+//! crossbeam's `SegQueue`), never the queue as a whole — in particular it
+//! never holds a lock that would stall every other submitter and worker.
+//!
+//! # Memory reclamation
+//!
+//! Exhausted segments are *retired* into a list owned by the queue and
+//! freed when the queue is dropped, exactly like the retired buffers of
+//! [`crate::chase_lev`] (see the module docs there for why this is a sound
+//! and simple alternative to epochs/hazard pointers). A segment holds
+//! [`SEG_CAP`] slots, so the retained memory is proportional to the
+//! *total number of pushes* divided by `SEG_CAP` (roughly 48 bytes per
+//! queued `Box<dyn FnOnce>` task over the queue's lifetime) — fine for
+//! run-to-completion pools and the experiment harness, but a deliberate
+//! trade-off for a months-lived server ingesting unbounded external
+//! traffic, which would want the retired segments recycled under a
+//! reader-quiescence protocol instead (see ROADMAP). The retired list
+//! itself is guarded by a `Mutex`, but it is touched only once per
+//! `SEG_CAP` pops, never on the push/steal fast path.
+//!
+//! # Safety argument (summary)
+//!
+//! * A slot index is handed to exactly one producer (`fetch_add` on
+//!   `push`) and exactly one consumer (successful CAS on `pop`), so each
+//!   slot sees one write and one read.
+//! * The consumer reads the value only after observing the slot's `FULL`
+//!   flag with `Acquire`, which synchronizes with the producer's `Release`
+//!   store after the value write.
+//! * A consumer claims slot `i` only when `i < min(push_cursor, SEG_CAP)`,
+//!   i.e. only slots some producer has already claimed; the spin between
+//!   claim and `FULL` is bounded by that producer's two remaining
+//!   instructions.
+//! * Segment pointers read by stalled threads stay valid because segments
+//!   are never freed before the queue drops.
+
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Slots per segment.
+pub const SEG_CAP: usize = 64;
+
+const EMPTY: u8 = 0;
+const FULL: u8 = 1;
+
+struct Slot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Segment<T> {
+    /// Next slot a producer will claim. May grow past `SEG_CAP`; the
+    /// overflow claims are the producers that go on to install `next`.
+    push_idx: CachePadded<AtomicUsize>,
+    /// Next slot a consumer will claim (always `<= SEG_CAP`).
+    pop_idx: CachePadded<AtomicUsize>,
+    next: AtomicPtr<Segment<T>>,
+    slots: [Slot<T>; SEG_CAP],
+}
+
+impl<T> Segment<T> {
+    fn boxed() -> Box<Self> {
+        Box::new(Segment {
+            push_idx: CachePadded::new(AtomicUsize::new(0)),
+            pop_idx: CachePadded::new(AtomicUsize::new(0)),
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: std::array::from_fn(|_| Slot {
+                state: AtomicU8::new(EMPTY),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            }),
+        })
+    }
+}
+
+/// An unbounded lock-free MPMC FIFO queue.
+///
+/// ```
+/// use wsf_deque::Injector;
+///
+/// let q = Injector::new();
+/// q.push(1);
+/// q.push(2);
+/// assert_eq!(q.steal(), Some(1));
+/// assert_eq!(q.steal(), Some(2));
+/// assert_eq!(q.steal(), None);
+/// ```
+pub struct Injector<T> {
+    head: CachePadded<AtomicPtr<Segment<T>>>,
+    tail: CachePadded<AtomicPtr<Segment<T>>>,
+    /// Fully-consumed segments, freed when the queue drops (see the module
+    /// docs on reclamation).
+    retired: Mutex<Vec<*mut Segment<T>>>,
+}
+
+// SAFETY: the queue transfers `T` values across threads, so `T: Send` is
+// required; all shared mutation goes through atomics or the retired mutex.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T: Send> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T: Send> Injector<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let seg = Box::into_raw(Segment::<T>::boxed());
+        Injector {
+            head: CachePadded::new(AtomicPtr::new(seg)),
+            tail: CachePadded::new(AtomicPtr::new(seg)),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pushes `value` at the back of the queue.
+    pub fn push(&self, value: T) {
+        loop {
+            let seg_ptr = self.tail.load(Ordering::Acquire);
+            // SAFETY: segments are freed only on drop, so any pointer read
+            // from `tail` stays valid for the lifetime of `&self`.
+            let seg = unsafe { &*seg_ptr };
+            let i = seg.push_idx.fetch_add(1, Ordering::Relaxed);
+            if i < SEG_CAP {
+                // SAFETY: the fetch-add handed index `i` to this producer
+                // exclusively; the slot is EMPTY until we flag it FULL.
+                unsafe {
+                    (*seg.slots[i].value.get()).write(value);
+                }
+                seg.slots[i].state.store(FULL, Ordering::Release);
+                return;
+            }
+            // Segment full: install (or help install) the next segment,
+            // advance the tail pointer, retry there.
+            let next = seg.next.load(Ordering::Acquire);
+            if next.is_null() {
+                let new = Box::into_raw(Segment::<T>::boxed());
+                match seg.next.compare_exchange(
+                    ptr::null_mut(),
+                    new,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        let _ = self.tail.compare_exchange(
+                            seg_ptr,
+                            new,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                    }
+                    Err(actual) => {
+                        // Another producer installed it first.
+                        // SAFETY: `new` was never shared.
+                        unsafe {
+                            drop(Box::from_raw(new));
+                        }
+                        let _ = self.tail.compare_exchange(
+                            seg_ptr,
+                            actual,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+            } else {
+                let _ =
+                    self.tail
+                        .compare_exchange(seg_ptr, next, Ordering::AcqRel, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Takes the value at the front of the queue, if any.
+    pub fn steal(&self) -> Option<T> {
+        loop {
+            let seg_ptr = self.head.load(Ordering::Acquire);
+            // SAFETY: see `push` — segment pointers stay valid until drop.
+            let seg = unsafe { &*seg_ptr };
+            let mut i = seg.pop_idx.load(Ordering::Relaxed);
+            loop {
+                if i >= SEG_CAP {
+                    break; // segment exhausted: advance head below
+                }
+                let claimed = seg.push_idx.load(Ordering::Acquire).min(SEG_CAP);
+                if i >= claimed {
+                    // No producer has claimed slot `i`. A later segment can
+                    // only exist once push_idx overflowed SEG_CAP, so the
+                    // queue is empty from here on.
+                    return None;
+                }
+                match seg.pop_idx.compare_exchange_weak(
+                    i,
+                    i + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some(self.read_slot(seg, i)),
+                    Err(actual) => i = actual,
+                }
+            }
+            let next = seg.next.load(Ordering::Acquire);
+            if next.is_null() {
+                return None;
+            }
+            if self
+                .head
+                .compare_exchange(seg_ptr, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Retire (don't free) the exhausted segment: stalled
+                // stealers may still be reading their claimed slots in it.
+                self.retired
+                    .lock()
+                    .expect("retired lock poisoned")
+                    .push(seg_ptr);
+            }
+        }
+    }
+
+    /// Waits for the producer of slot `i` to finish writing, then reads it.
+    fn read_slot(&self, seg: &Segment<T>, i: usize) -> T {
+        let slot = &seg.slots[i];
+        let mut spins = 0u32;
+        while slot.state.load(Ordering::Acquire) != FULL {
+            // The producer already claimed the slot (we checked `claimed`),
+            // so it is at most two instructions away from flagging FULL
+            // unless it was preempted — spin briefly, then yield.
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: the pop CAS handed index `i` to this consumer exclusively
+        // and the FULL flag (Acquire) synchronizes with the producer's value
+        // write before its Release store.
+        unsafe { (*slot.value.get()).assume_init_read() }
+    }
+
+    /// Whether the queue appears empty (exact only when no concurrent
+    /// operations are in flight).
+    pub fn is_empty(&self) -> bool {
+        let seg_ptr = self.head.load(Ordering::Acquire);
+        // SAFETY: see `push`.
+        let seg = unsafe { &*seg_ptr };
+        let i = seg.pop_idx.load(Ordering::Relaxed);
+        i >= seg.push_idx.load(Ordering::Relaxed).min(SEG_CAP)
+            && seg.next.load(Ordering::Relaxed).is_null()
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        // Retired segments were fully consumed: free the memory only.
+        for &old in self
+            .retired
+            .get_mut()
+            .expect("retired lock poisoned")
+            .iter()
+        {
+            // SAFETY: exclusive access during drop; every slot of a retired
+            // segment was claimed and read by exactly one consumer.
+            unsafe {
+                drop(Box::from_raw(old));
+            }
+        }
+        // Walk the live chain, dropping unconsumed values.
+        let mut seg_ptr = *self.head.get_mut();
+        while !seg_ptr.is_null() {
+            // SAFETY: exclusive access during drop; with no concurrency,
+            // every claimed slot (< push_idx, capped) is FULL unless a
+            // consumer already took it (< pop_idx).
+            unsafe {
+                let seg = &mut *seg_ptr;
+                let start = (*seg.pop_idx).load(Ordering::Relaxed).min(SEG_CAP);
+                let end = (*seg.push_idx).load(Ordering::Relaxed).min(SEG_CAP);
+                for i in start..end {
+                    debug_assert_eq!(seg.slots[i].state.load(Ordering::Relaxed), FULL);
+                    (*seg.slots[i].value.get()).assume_init_drop();
+                }
+                let next = *seg.next.get_mut();
+                drop(Box::from_raw(seg_ptr));
+                seg_ptr = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_segment_and_across_segments() {
+        let q = Injector::new();
+        let n = SEG_CAP * 3 + 7;
+        for i in 0..n {
+            q.push(i);
+        }
+        assert!(!q.is_empty());
+        for i in 0..n {
+            assert_eq!(q.steal(), Some(i));
+        }
+        assert_eq!(q.steal(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_steal() {
+        let q = Injector::new();
+        for round in 0..50 {
+            q.push(round * 2);
+            q.push(round * 2 + 1);
+            assert_eq!(q.steal(), Some(round * 2));
+            assert_eq!(q.steal(), Some(round * 2 + 1));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = Injector::new();
+            for _ in 0..(SEG_CAP + 9) {
+                q.push(Counted);
+            }
+            drop(q.steal()); // one dropped here
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), SEG_CAP + 9);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let q: Injector<String> = Injector::new();
+        assert!(q.is_empty());
+        assert_eq!(q.steal(), None);
+        q.push("x".into());
+        assert_eq!(q.steal(), Some("x".into()));
+        assert_eq!(q.steal(), None);
+    }
+}

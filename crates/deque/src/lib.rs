@@ -4,13 +4,15 @@
 //! processor a double-ended queue: the owner pushes and pops work at the
 //! *bottom* while thieves steal from the *top*.
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
 //! * [`chase_lev`] — a lock-free Chase–Lev deque (dynamic circular
 //!   work-stealing deque, SPAA 2005) used by the real thread-pool runtime
-//!   in `wsf-runtime`. It is the only module in the workspace that uses
-//!   `unsafe` code; the invariants are documented inline and exercised by a
-//!   multi-threaded stress test.
+//!   in `wsf-runtime`; the invariants are documented inline and exercised
+//!   by a multi-threaded stress test.
+//! * [`injector`] — a lock-free segmented MPMC FIFO used by the runtime as
+//!   its global injector for tasks submitted from outside the pool, so no
+//!   path of the runtime's task plumbing takes a lock.
 //! * [`sim`] — a deterministic, single-threaded deque with the same
 //!   bottom/top interface, used by the execution simulator in `wsf-core`
 //!   where determinism and introspection matter more than concurrency.
@@ -30,7 +32,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chase_lev;
+pub mod injector;
 pub mod sim;
 
 pub use chase_lev::{deque, Steal, Stealer, Worker};
+pub use injector::Injector;
 pub use sim::SimDeque;

@@ -1,12 +1,13 @@
-//! Multi-threaded stress tests of the Chase–Lev deque: N stealers race one
-//! owner, and every pushed item must be delivered exactly once — no losses,
-//! no duplications — including while the buffer grows under contention.
+//! Multi-threaded stress tests of the Chase–Lev deque and the MPMC
+//! injector: N stealers race one owner (or N producers race M consumers),
+//! and every pushed item must be delivered exactly once — no losses, no
+//! duplications — including while buffers grow under contention.
 //!
-//! (The `chase_lev` module's safety argument promises exactly this test.)
+//! (The `chase_lev` and `injector` safety arguments promise exactly this.)
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use wsf_deque::{deque, Steal};
+use wsf_deque::{deque, Injector, Steal};
 
 /// Runs one owner against `thieves` stealers: the owner pushes `total`
 /// distinct items in bursts (interleaving pops of roughly half of each
@@ -174,6 +175,93 @@ fn stealers_never_fabricate_items() {
             "pops + steals must account for every push exactly once"
         );
     });
+}
+
+/// Runs `producers` pushers against `consumers` poppers on one [`Injector`]
+/// and returns everything delivered. Each producer pushes a disjoint range
+/// of `0..producers * per_producer`.
+fn hammer_injector(producers: usize, consumers: usize, per_producer: usize) -> Vec<usize> {
+    let q: Injector<usize> = Injector::new();
+    let received: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let live_producers = AtomicUsize::new(producers);
+
+    std::thread::scope(|scope| {
+        for t in 0..producers {
+            let q = &q;
+            let live_producers = &live_producers;
+            scope.spawn(move || {
+                for i in 0..per_producer {
+                    q.push(t * per_producer + i);
+                }
+                live_producers.fetch_sub(1, Ordering::Release);
+            });
+        }
+        for _ in 0..consumers {
+            let q = &q;
+            let received = &received;
+            let live_producers = &live_producers;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    match q.steal() {
+                        Some(v) => local.push(v),
+                        None => {
+                            // Stop only after observing the queue empty with
+                            // no producer left, so trailing items aren't
+                            // dropped.
+                            if live_producers.load(Ordering::Acquire) == 0 && q.steal().is_none() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                received.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    received.into_inner().unwrap()
+}
+
+#[test]
+fn injector_mpmc_exactly_once() {
+    // N producers, M consumers; every value must arrive exactly once
+    // across many segment boundaries (SEG_CAP = 64).
+    for (producers, consumers) in [(1usize, 1usize), (2, 2), (4, 2), (2, 4), (4, 4)] {
+        let per_producer = 10_000;
+        let total = producers * per_producer;
+        assert_exactly_once(
+            hammer_injector(producers, consumers, per_producer),
+            total,
+            &format!("{producers} producers x {consumers} consumers"),
+        );
+    }
+}
+
+#[test]
+fn injector_preserves_fifo_per_producer() {
+    // With one producer and one consumer the injector is a plain FIFO.
+    let q: Injector<usize> = Injector::new();
+    let total = 5_000usize;
+    std::thread::scope(|scope| {
+        let q = &q;
+        scope.spawn(move || {
+            for v in 0..total {
+                q.push(v);
+            }
+        });
+        let mut expect = 0usize;
+        while expect < total {
+            if let Some(v) = q.steal() {
+                assert_eq!(v, expect, "single-consumer order must be FIFO");
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    });
+    assert!(q.is_empty());
 }
 
 #[test]

@@ -7,12 +7,11 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use wsf_deque::{deque, Steal, Stealer, Worker};
+use wsf_deque::{deque, Injector, Steal, Stealer, Worker};
 
 /// A unit of work queued on the pool.
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -21,7 +20,10 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 /// threads holding futures.
 pub(crate) struct Inner {
     stealers: Vec<Stealer<Task>>,
-    injector: Mutex<VecDeque<Task>>,
+    /// Lock-free MPMC queue for tasks submitted from outside the pool
+    /// (external `spawn_future`/`defer_future` callers); workers drain it
+    /// after their own deque and before stealing.
+    injector: Injector<Task>,
     idle_mutex: Mutex<()>,
     idle_cond: Condvar,
     shutdown: AtomicBool,
@@ -60,12 +62,12 @@ impl Inner {
     }
 
     fn push_injector(&self, task: Task) {
-        self.injector.lock().push_back(task);
+        self.injector.push(task);
         self.notify();
     }
 
     fn pop_injector(&self) -> Option<Task> {
-        self.injector.lock().pop_front()
+        self.injector.steal()
     }
 
     /// Finds a task for the worker `index`: its own deque first, then the
@@ -233,7 +235,7 @@ impl RuntimeBuilder {
         }
         let inner = Arc::new(Inner {
             stealers,
-            injector: Mutex::new(VecDeque::new()),
+            injector: Injector::new(),
             idle_mutex: Mutex::new(()),
             idle_cond: Condvar::new(),
             shutdown: AtomicBool::new(false),

@@ -179,6 +179,49 @@ fn join_combines_both_results() {
 }
 
 #[test]
+fn external_submissions_never_lose_tasks() {
+    // Tasks pushed from outside the pool go through the lock-free injector;
+    // every one must execute exactly once and every touch must complete
+    // (no lost wakeups), even with several external submitter threads
+    // racing each other and the workers.
+    for policy in SpawnPolicy::ALL {
+        let rt = Arc::new(Runtime::builder().threads(2).policy(policy).build());
+        let executed = Arc::new(AtomicU64::new(0));
+        let submitters = 4usize;
+        let per_submitter = 500usize;
+
+        std::thread::scope(|scope| {
+            for _ in 0..submitters {
+                let rt = Arc::clone(&rt);
+                let executed = Arc::clone(&executed);
+                scope.spawn(move || {
+                    let futures: Vec<_> = (0..per_submitter)
+                        .map(|i| {
+                            let executed = Arc::clone(&executed);
+                            // defer_future always queues (never inlines), so
+                            // every one of these crosses the injector when
+                            // submitted from this non-worker thread.
+                            rt.defer_future(move || {
+                                executed.fetch_add(1, Ordering::Relaxed);
+                                i as u64
+                            })
+                        })
+                        .collect();
+                    let sum: u64 = futures.into_iter().map(|f| f.touch()).sum();
+                    assert_eq!(sum, (0..per_submitter as u64).sum::<u64>(), "{policy}");
+                });
+            }
+        });
+
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            (submitters * per_submitter) as u64,
+            "{policy}: every injected task executed exactly once"
+        );
+    }
+}
+
+#[test]
 fn stats_snapshots_are_monotonic() {
     let rt = Arc::new(Runtime::builder().threads(2).build());
     let before = rt.stats();
