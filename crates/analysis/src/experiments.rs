@@ -7,7 +7,7 @@
 
 use crate::fit::power_law_exponent;
 use crate::par::par_map;
-use crate::sweeps::{seed_sweep, SweepConfig};
+use crate::sweeps::{seed_sweep, SweepConfig, SweepScheduler};
 use crate::table::Table;
 use wsf_core::{
     bounds, ExecutionReport, ForkPolicy, ParallelSimulator, Scheduler, SeqReport,
@@ -16,7 +16,7 @@ use wsf_core::{
 use wsf_dag::{classify, span, Dag, DagBuilder};
 use wsf_workloads::figures::{fig3, fig4, fig5a, fig5b, Fig6, Fig7a, Fig7b, Fig8};
 use wsf_workloads::random::{random_single_touch, RandomConfig};
-use wsf_workloads::{apps, pipeline, runtime_apps};
+use wsf_workloads::{apps, backpressure, pipeline, runtime_apps, sort, stencil};
 
 /// How large the experiment sweeps should be.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -626,23 +626,39 @@ pub fn e10_runtime(scale: Scale) -> Vec<Table> {
     );
     let fib_n = scale.pick(12u64, 20);
     let sum_len = scale.pick(10_000usize, 400_000);
+    let sort_len = scale.pick(2_000u64, 40_000);
+    let (grid_rows, grid_cols) = scale.pick((4usize, 16usize), (16, 64));
+    let stream_items = scale.pick(200usize, 5_000);
     for &threads in &scale.pick(vec![2usize], vec![1, 2, 4]) {
         for policy in SpawnPolicy::ALL {
             let rt = Arc::new(Runtime::builder().threads(threads).policy(policy).build());
             let data: Arc<Vec<u64>> = Arc::new((0..sum_len as u64).collect());
 
+            let sort_input: Vec<u64> = (0..sort_len)
+                .map(|i| i.wrapping_mul(2_654_435_761) % 100_000)
+                .collect();
+            let mut sort_expected = sort_input.clone();
+            sort_expected.sort_unstable();
+
             let start = std::time::Instant::now();
             let fib_val = runtime_apps::fib(&rt, fib_n);
             let sum_val = runtime_apps::sum(&rt, &data, 0, data.len(), 512);
             let mr = runtime_apps::map_reduce(&rt, 32, |w| w as u64, |a, b| a + b);
+            let sorted = runtime_apps::merge_sort(&rt, sort_input, 256);
+            let grid = runtime_apps::stencil(&rt, grid_rows, grid_cols, 4);
+            let stream = runtime_apps::streaming_pipeline(&rt, stream_items, 8);
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
 
+            let last = stream_items as u64 - 1;
             let ok = fib_val == fib_reference(fib_n)
                 && sum_val == data.iter().sum::<u64>()
-                && mr == Some((0..32u64).sum());
+                && mr == Some((0..32u64).sum())
+                && sorted == sort_expected
+                && grid.len() == grid_rows
+                && stream.last().copied() == Some(last * last + 1);
             let stats = rt.stats();
             t.push_row(vec![
-                "fib+sum+map_reduce".to_string(),
+                "fib+sum+map_reduce+sort+stencil+stream".to_string(),
                 policy.to_string(),
                 threads.to_string(),
                 ok.to_string(),
@@ -656,17 +672,229 @@ pub fn e10_runtime(scale: Scale) -> Vec<Table> {
     vec![t]
 }
 
-/// E11 — the bulk `(seed, P, policy, cache)` sweep over random structured
-/// single-touch DAGs (thread-sharded; see [`crate::sweeps`]).
+/// E11 — the bulk `(seed, P, policy, cache, scheduler)` sweep over random
+/// structured single-touch DAGs (thread-sharded; see [`crate::sweeps`]),
+/// comparing randomized work stealing with the deterministic parsimonious
+/// scheduler against each cell's governing deviation bound.
 pub fn e11_bulk_sweep(scale: Scale) -> Vec<Table> {
     let config = SweepConfig {
         target_nodes: scale.pick(400, 20_000),
         seeds: scale.pick(vec![1, 2], vec![0, 1, 2, 3]),
         processors: scale.pick(vec![2, 4], vec![2, 4, 8]),
         cache_lines: scale.pick(vec![8], vec![8, 16]),
+        schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
         ..SweepConfig::default()
     };
     vec![seed_sweep(&config)]
+}
+
+/// Runs one simulation cell under a [`SweepScheduler`] kind, sharing the
+/// single scheduler constructor with the E11 sweep.
+fn run_with_sched(
+    dag: &Dag,
+    p: usize,
+    c: usize,
+    policy: ForkPolicy,
+    sched: SweepScheduler,
+) -> (SeqReport, ExecutionReport) {
+    let mut s = sched.instantiate(SimConfig::default().seed);
+    run_with(dag, p, c, policy, Some(s.as_mut()))
+}
+
+/// Runs one Theorem-12 suite cell under the given scheduler kind and
+/// returns the standard measurement columns: `P`, `T∞`, scheduler,
+/// deviations, the Theorem 12 deviation bound, extra misses, the Theorem 12
+/// miss bound, steals and a bound verdict. Shared by E12–E14.
+fn thm12_row(
+    dag: &Dag,
+    sp: u64,
+    p: usize,
+    c: usize,
+    policy: ForkPolicy,
+    sched: SweepScheduler,
+) -> Vec<String> {
+    let (seq, rep) = run_with_sched(dag, p, c, policy, sched);
+    let dev_bound = bounds::thm12_deviations(p as u64, sp);
+    let miss_bound = bounds::thm12_additional_misses(c as u64, p as u64, sp);
+    let within = rep.deviations() <= dev_bound && rep.additional_misses(&seq) <= miss_bound;
+    vec![
+        p.to_string(),
+        sp.to_string(),
+        sched.to_string(),
+        rep.deviations().to_string(),
+        dev_bound.to_string(),
+        rep.additional_misses(&seq).to_string(),
+        miss_bound.to_string(),
+        rep.steals().to_string(),
+        if within { "yes" } else { "NO" }.to_string(),
+    ]
+}
+
+const THM12_COLUMNS: [&str; 9] = [
+    "P",
+    "T_inf",
+    "sched",
+    "deviations",
+    "P*T_inf^2",
+    "extra misses",
+    "C*P*T_inf^2",
+    "steals",
+    "within",
+];
+
+/// E12 — Theorem 12 on divide-and-conquer mergesort: the fork-join
+/// (single-touch) and streaming-merge (local-touch) variants under
+/// future-first, random work stealing vs the deterministic parsimonious
+/// scheduler, against the `O(C·P·T∞²)` bound.
+pub fn e12_dnc_sort(scale: Scale) -> Vec<Table> {
+    let c = 16usize;
+    let sizes = scale.pick(
+        vec![(64usize, 8usize)],
+        vec![(256, 16), (1_024, 32), (4_096, 64)],
+    );
+    let procs = scale.pick(vec![2usize], vec![2, 4, 8]);
+    let mut columns = vec!["variant", "len", "grain"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        "E12 / Theorem 12 — divide-and-conquer mergesort, future-first, WS vs parsimonious",
+        &columns,
+    );
+    let mut cells = Vec::new();
+    for &(len, grain) in &sizes {
+        for variant in ["fork-join", "streaming"] {
+            cells.push((len, grain, variant));
+        }
+    }
+    let rows = par_map(cells, |(len, grain, variant)| {
+        let dag = match variant {
+            "fork-join" => sort::mergesort(len, grain),
+            _ => sort::mergesort_streaming(len, grain, 2 * grain),
+        };
+        let class = classify(&dag);
+        assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+        let sp = span(&dag);
+        let mut rows = Vec::new();
+        for &p in &procs {
+            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+                let mut row = vec![variant.to_string(), len.to_string(), grain.to_string()];
+                row.extend(thm12_row(&dag, sp, p, c, ForkPolicy::FutureFirst, sched));
+                rows.push(row);
+            }
+        }
+        rows
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+/// E13 — Theorem 12 on wavefront stencil grids: row threads exchanging
+/// boundary futures, interior blocks reused across time steps.
+pub fn e13_stencil(scale: Scale) -> Vec<Table> {
+    let c = 16usize;
+    let shapes = scale.pick(
+        vec![(3usize, 2usize, 3usize)],
+        vec![(4, 4, 8), (8, 8, 8), (8, 4, 16)],
+    );
+    let procs = scale.pick(vec![2usize], vec![2, 4, 8]);
+    let mut columns = vec!["rows", "width", "steps"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        "E13 / Theorem 12 — wavefront stencil grids, future-first, WS vs parsimonious",
+        &columns,
+    );
+    let rows = par_map(shapes, |(rows, width, steps)| {
+        let dag = stencil::stencil(rows, width, steps);
+        let class = classify(&dag);
+        assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+        let sp = span(&dag);
+        let mut out = Vec::new();
+        for &p in &procs {
+            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+                let mut row = vec![rows.to_string(), width.to_string(), steps.to_string()];
+                row.extend(thm12_row(&dag, sp, p, c, ForkPolicy::FutureFirst, sched));
+                out.push(row);
+            }
+        }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+/// E14 — Theorem 12 on streaming pipelines with bounded backpressure: the
+/// window sweep shows how tightening the in-flight bound shrinks span-side
+/// slack while the Theorem 12 bound keeps holding; both fork policies run
+/// (future-first against `P·T∞²`, parent-first against the general
+/// `(P+t)·T∞` shape Theorem 10's lower bound lives in).
+pub fn e14_backpressure(scale: Scale) -> Vec<Table> {
+    let c = 16usize;
+    let (stages, items, work) = scale.pick((2usize, 4usize, 2usize), (4, 16, 3));
+    let windows = scale.pick(vec![1usize, 4], vec![1, 2, 4, 16]);
+    let procs = scale.pick(vec![2usize], vec![2, 4, 8]);
+    let mut t = Table::new(
+        "E14 / Theorems 10 & 12 — bounded-backpressure pipelines, both policies, WS vs parsimonious",
+        &[
+            "stages",
+            "items",
+            "window",
+            "policy",
+            "P",
+            "T_inf",
+            "sched",
+            "deviations",
+            "dev bound",
+            "extra misses",
+            "steals",
+            "within",
+        ],
+    );
+    let rows = par_map(windows, |window| {
+        let dag = backpressure::batched_pipeline(stages, items, window, work);
+        let class = classify(&dag);
+        assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+        let sp = span(&dag);
+        let touches = dag.touches().count() as u64;
+        let mut out = Vec::new();
+        for policy in ForkPolicy::ALL {
+            for &p in &procs {
+                for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+                    let (seq, rep) = run_with_sched(&dag, p, c, policy, sched);
+                    let dev_bound = match policy {
+                        ForkPolicy::FutureFirst => bounds::thm12_deviations(p as u64, sp),
+                        ForkPolicy::ParentFirst => {
+                            bounds::unstructured_deviations(p as u64, touches, sp)
+                        }
+                    };
+                    let within = rep.deviations() <= dev_bound
+                        && rep.additional_misses(&seq)
+                            <= bounds::misses_from_deviations(c as u64, rep.deviations());
+                    out.push(vec![
+                        stages.to_string(),
+                        items.to_string(),
+                        window.to_string(),
+                        policy.to_string(),
+                        p.to_string(),
+                        sp.to_string(),
+                        sched.to_string(),
+                        rep.deviations().to_string(),
+                        dev_bound.to_string(),
+                        rep.additional_misses(&seq).to_string(),
+                        rep.steals().to_string(),
+                        if within { "yes" } else { "NO" }.to_string(),
+                    ]);
+                }
+            }
+        }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
 }
 
 fn fib_reference(n: u64) -> u64 {
@@ -693,6 +921,9 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e9_applications(scale));
     tables.extend(e10_runtime(scale));
     tables.extend(e11_bulk_sweep(scale));
+    tables.extend(e12_dnc_sort(scale));
+    tables.extend(e13_stencil(scale));
+    tables.extend(e14_backpressure(scale));
     tables
 }
 
@@ -717,6 +948,17 @@ pub fn registry() -> Vec<Experiment> {
         ("e9", "application workloads", e9_applications),
         ("e10", "real runtime", e10_runtime),
         ("e11", "bulk random sweep (thread-sharded)", e11_bulk_sweep),
+        (
+            "e12",
+            "Theorem 12 divide-and-conquer mergesort",
+            e12_dnc_sort,
+        ),
+        ("e13", "Theorem 12 wavefront stencil grids", e13_stencil),
+        (
+            "e14",
+            "Theorems 10/12 bounded-backpressure pipelines",
+            e14_backpressure,
+        ),
     ]
 }
 
@@ -746,11 +988,31 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 11);
+        assert_eq!(reg.len(), 14);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 14);
+    }
+
+    #[test]
+    fn thm12_suite_tables_respect_their_bounds() {
+        // The acceptance contract of the Theorem-12 workload suite: every
+        // E12–E14 row reports "yes" in its bound-verdict column, for both
+        // the random-WS and the parsimonious scheduler.
+        for runner in [e12_dnc_sort, e13_stencil, e14_backpressure] {
+            for table in runner(Scale::Quick) {
+                assert!(!table.is_empty(), "{}", table.title);
+                for row in &table.rows {
+                    assert_eq!(
+                        row.last().map(String::as_str),
+                        Some("yes"),
+                        "{}: row {row:?} violates its bound",
+                        table.title
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod table;
 pub use experiments::{registry, run_all, Scale};
 pub use fit::{mean_ratio, power_law_exponent};
 pub use par::{par_map, set_threads, threads};
-pub use sweeps::{seed_sweep, seed_sweep_cells, SweepCell, SweepConfig};
+pub use sweeps::{seed_sweep, seed_sweep_cells, SweepCell, SweepConfig, SweepScheduler};
 pub use table::Table;

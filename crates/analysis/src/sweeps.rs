@@ -1,10 +1,13 @@
-//! Wide parameter sweeps over `(seed, P, policy, cache)` cells.
+//! Wide parameter sweeps over `(seed, P, policy, cache, scheduler)` cells.
 //!
 //! The per-experiment tables in [`crate::experiments`] reproduce specific
 //! figures; this module provides the *bulk* sweep used to study large
 //! random DAG populations: every combination of workload seed, processor
-//! count, fork policy and cache size is simulated and summarized in one
-//! table.
+//! count, fork policy, cache size and steal scheduler is simulated and
+//! summarized in one table, next to the theorem bound that governs the
+//! cell (Theorem 8/12's `P·T∞²` under future-first, the general
+//! `(P+t)·T∞` shape under parent-first — the regime Theorem 10's lower
+//! bound lives in).
 //!
 //! Three things make the sweep fast without changing a single measured
 //! number:
@@ -13,14 +16,58 @@
 //!   table is assembled from the ordered results, so the output is
 //!   byte-identical at every thread count;
 //! * within one `(seed, policy, cache)` shard the sequential baseline is
-//!   computed once and shared by every `P` (it does not depend on `P`);
+//!   computed once and shared by every `P` and scheduler (it depends on
+//!   neither);
 //! * each shard reuses one [`SimScratch`], so repeated simulations allocate
 //!   nothing per step.
 
 use crate::par::par_map;
 use crate::table::Table;
-use wsf_core::{ForkPolicy, ParallelSimulator, RandomScheduler, SimConfig, SimScratch};
+use std::fmt;
+use wsf_core::{
+    bounds, ForkPolicy, ParallelSimulator, ParsimoniousScheduler, RandomScheduler, SimConfig,
+    SimScratch,
+};
+use wsf_dag::span;
 use wsf_workloads::random::{random_single_touch, RandomConfig};
+
+/// Which steal scheduler a sweep cell runs under.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SweepScheduler {
+    /// Seeded uniformly-random victim selection (work stealing with
+    /// futures, the Arora–Blumofe–Plaxton model the theorems assume).
+    RandomWs,
+    /// The deterministic steal-frugal [`ParsimoniousScheduler`] (thieves
+    /// wait out a fixed patience before robbing the lowest victim).
+    Parsimonious,
+}
+
+impl SweepScheduler {
+    /// Patience used by the parsimonious cells (deterministic; chosen so
+    /// thieves throttle visibly without serializing the run).
+    pub const PATIENCE: u32 = 4;
+
+    /// A fresh scheduler instance for one simulation cell. Every
+    /// experiment cell goes through this single constructor so the
+    /// (seed, patience) configuration cannot drift between E11's sweep and
+    /// the E12–E14 tables. (The sweep hot loop below keeps its own
+    /// `match` to preserve the monomorphized `RandomScheduler` path.)
+    pub fn instantiate(self, seed: u64) -> Box<dyn wsf_core::Scheduler> {
+        match self {
+            SweepScheduler::RandomWs => Box::new(RandomScheduler::new(seed)),
+            SweepScheduler::Parsimonious => Box::new(ParsimoniousScheduler::new(Self::PATIENCE)),
+        }
+    }
+}
+
+impl fmt::Display for SweepScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepScheduler::RandomWs => write!(f, "ws-random"),
+            SweepScheduler::Parsimonious => write!(f, "parsimonious"),
+        }
+    }
+}
 
 /// Parameters of [`seed_sweep`].
 #[derive(Clone, Debug)]
@@ -35,6 +82,8 @@ pub struct SweepConfig {
     pub policies: Vec<ForkPolicy>,
     /// Cache sizes (lines) to simulate.
     pub cache_lines: Vec<usize>,
+    /// Steal schedulers to simulate.
+    pub schedulers: Vec<SweepScheduler>,
 }
 
 impl Default for SweepConfig {
@@ -45,6 +94,7 @@ impl Default for SweepConfig {
             processors: vec![2, 4, 8],
             policies: ForkPolicy::ALL.to_vec(),
             cache_lines: vec![16],
+            schedulers: vec![SweepScheduler::RandomWs],
         }
     }
 }
@@ -58,10 +108,14 @@ pub struct SweepCell {
     pub policy: ForkPolicy,
     /// Cache lines.
     pub cache_lines: usize,
+    /// Steal scheduler.
+    pub scheduler: SweepScheduler,
     /// Processor count.
     pub processors: usize,
     /// Nodes in the generated DAG.
     pub nodes: usize,
+    /// Span (`T∞`) of the generated DAG.
+    pub span: u64,
     /// Deviations of the parallel execution.
     pub deviations: u64,
     /// Successful steals.
@@ -70,48 +124,84 @@ pub struct SweepCell {
     pub additional_misses: u64,
     /// Simulated makespan in steps.
     pub makespan: u64,
+    /// The deviation bound governing the cell: Theorem 8/12's `P·T∞²`
+    /// under future-first, the general `(P+t)·T∞` shape under
+    /// parent-first.
+    pub deviation_bound: u64,
 }
 
-/// Runs every `(seed, P, policy, cache)` cell of `config` and returns the
-/// rows in deterministic sweep order (seed-major, then policy, cache, P).
+impl SweepCell {
+    /// Whether the measured deviations respect the cell's governing bound.
+    pub fn within_bound(&self) -> bool {
+        self.deviations <= self.deviation_bound
+    }
+}
+
+/// Runs every `(seed, P, policy, cache, scheduler)` cell of `config` and
+/// returns the rows in deterministic sweep order (seed-major, then policy,
+/// cache, scheduler, P).
 pub fn seed_sweep_cells(config: &SweepConfig) -> Vec<SweepCell> {
     // One shard per seed: the (expensive) DAG generation happens once per
     // seed, each (policy, cache) pair computes its sequential baseline
-    // once and shares it across all processor counts, and the whole shard
-    // reuses one scratch for all its runs.
+    // once and shares it across all processor counts and schedulers, and
+    // the whole shard reuses one scratch for all its runs.
     let rows = par_map(config.seeds.clone(), |seed| {
         let dag = random_single_touch(&RandomConfig {
             target_nodes: config.target_nodes,
             seed,
             ..RandomConfig::default()
         });
+        let sp = span(&dag);
+        let touches = dag.touches().count() as u64;
         let mut scratch = SimScratch::new();
         let mut rows = Vec::new();
         for &policy in &config.policies {
             for &cache_lines in &config.cache_lines {
                 let mut seq = None;
-                for &processors in &config.processors {
-                    let cfg = SimConfig {
-                        processors,
-                        cache_lines,
-                        fork_policy: policy,
-                        ..SimConfig::default()
-                    };
-                    let sim = ParallelSimulator::new(cfg);
-                    let seq = seq.get_or_insert_with(|| sim.sequential(&dag));
-                    let mut sched = RandomScheduler::new(cfg.seed);
-                    let rep = sim.run_with_scratch(&dag, seq, &mut sched, false, &mut scratch);
-                    rows.push(SweepCell {
-                        seed,
-                        policy,
-                        cache_lines,
-                        processors,
-                        nodes: dag.num_nodes(),
-                        deviations: rep.deviations(),
-                        steals: rep.steals(),
-                        additional_misses: rep.additional_misses(seq),
-                        makespan: rep.makespan,
-                    });
+                for &scheduler in &config.schedulers {
+                    for &processors in &config.processors {
+                        let cfg = SimConfig {
+                            processors,
+                            cache_lines,
+                            fork_policy: policy,
+                            ..SimConfig::default()
+                        };
+                        let sim = ParallelSimulator::new(cfg);
+                        let seq = seq.get_or_insert_with(|| sim.sequential(&dag));
+                        let rep = match scheduler {
+                            SweepScheduler::RandomWs => {
+                                let mut sched = RandomScheduler::new(cfg.seed);
+                                sim.run_with_scratch(&dag, seq, &mut sched, false, &mut scratch)
+                            }
+                            SweepScheduler::Parsimonious => {
+                                let mut sched =
+                                    ParsimoniousScheduler::new(SweepScheduler::PATIENCE);
+                                sim.run_with_scratch(&dag, seq, &mut sched, false, &mut scratch)
+                            }
+                        };
+                        let deviation_bound = match policy {
+                            ForkPolicy::FutureFirst => {
+                                bounds::thm12_deviations(processors as u64, sp)
+                            }
+                            ForkPolicy::ParentFirst => {
+                                bounds::unstructured_deviations(processors as u64, touches, sp)
+                            }
+                        };
+                        rows.push(SweepCell {
+                            seed,
+                            policy,
+                            cache_lines,
+                            scheduler,
+                            processors,
+                            nodes: dag.num_nodes(),
+                            span: sp,
+                            deviations: rep.deviations(),
+                            steals: rep.steals(),
+                            additional_misses: rep.additional_misses(seq),
+                            makespan: rep.makespan,
+                            deviation_bound,
+                        });
+                    }
                 }
             }
         }
@@ -123,14 +213,18 @@ pub fn seed_sweep_cells(config: &SweepConfig) -> Vec<SweepCell> {
 /// Runs [`seed_sweep_cells`] and renders the rows as a [`Table`].
 pub fn seed_sweep(config: &SweepConfig) -> Table {
     let mut t = Table::new(
-        "Bulk sweep — random structured single-touch DAGs, every (seed, P, policy, C) cell",
+        "Bulk sweep — random structured single-touch DAGs, every (seed, P, policy, C, scheduler) cell",
         &[
             "seed",
             "policy",
             "C",
+            "sched",
             "P",
             "nodes",
+            "T_inf",
             "deviations",
+            "dev bound",
+            "within",
             "steals",
             "extra misses",
             "makespan",
@@ -141,9 +235,13 @@ pub fn seed_sweep(config: &SweepConfig) -> Table {
             cell.seed.to_string(),
             cell.policy.to_string(),
             cell.cache_lines.to_string(),
+            cell.scheduler.to_string(),
             cell.processors.to_string(),
             cell.nodes.to_string(),
+            cell.span.to_string(),
             cell.deviations.to_string(),
+            cell.deviation_bound.to_string(),
+            if cell.within_bound() { "yes" } else { "NO" }.to_string(),
             cell.steals.to_string(),
             cell.additional_misses.to_string(),
             cell.makespan.to_string(),
@@ -164,15 +262,61 @@ mod tests {
             processors: vec![2, 4],
             policies: ForkPolicy::ALL.to_vec(),
             cache_lines: vec![8],
+            schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
         };
         let cells = seed_sweep_cells(&config);
-        assert_eq!(cells.len(), 2 * 2 * 2);
-        // Seed-major order, then policy, then P.
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        // Seed-major order, then policy, scheduler, P.
         assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[0].scheduler, SweepScheduler::RandomWs);
         assert_eq!(cells[0].processors, 2);
         assert_eq!(cells[1].processors, 4);
-        assert_eq!(cells[4].seed, 2);
+        assert_eq!(cells[2].scheduler, SweepScheduler::Parsimonious);
+        assert_eq!(cells[8].seed, 2);
         let table = seed_sweep(&config);
         assert_eq!(table.len(), cells.len());
+    }
+
+    #[test]
+    fn every_cell_respects_its_governing_bound() {
+        let cells = seed_sweep_cells(&SweepConfig {
+            target_nodes: 600,
+            seeds: vec![3, 9],
+            processors: vec![2, 4],
+            cache_lines: vec![8],
+            schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+            ..SweepConfig::default()
+        });
+        for cell in &cells {
+            assert!(
+                cell.within_bound(),
+                "seed {} {} {} P={}: {} deviations exceed bound {}",
+                cell.seed,
+                cell.policy,
+                cell.scheduler,
+                cell.processors,
+                cell.deviations,
+                cell.deviation_bound
+            );
+        }
+    }
+
+    #[test]
+    fn parsimonious_cells_steal_less_than_random_ws() {
+        let cells = seed_sweep_cells(&SweepConfig {
+            target_nodes: 1_000,
+            seeds: vec![5],
+            processors: vec![4],
+            policies: vec![ForkPolicy::FutureFirst],
+            cache_lines: vec![8],
+            schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+        });
+        assert_eq!(cells.len(), 2);
+        assert!(
+            cells[1].steals <= cells[0].steals,
+            "parsimonious ({}) must not out-steal random WS ({})",
+            cells[1].steals,
+            cells[0].steals
+        );
     }
 }

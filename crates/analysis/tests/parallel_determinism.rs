@@ -10,7 +10,7 @@
 //! the `threads = 1` baseline into a sharded run and make the comparison
 //! vacuous.
 
-use wsf_analysis::{experiments, seed_sweep, set_threads, Scale, SweepConfig};
+use wsf_analysis::{experiments, seed_sweep, set_threads, Scale, SweepConfig, SweepScheduler};
 use wsf_core::ForkPolicy;
 
 fn render_sweep(threads: usize, seeds: Vec<u64>, policies: Vec<ForkPolicy>) -> String {
@@ -21,6 +21,7 @@ fn render_sweep(threads: usize, seeds: Vec<u64>, policies: Vec<ForkPolicy>) -> S
         processors: vec![2, 4],
         policies,
         cache_lines: vec![8, 16],
+        schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
     });
     set_threads(0);
     table.render()
@@ -43,14 +44,20 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
     let oversubscribed = render_sweep(16, seeds, policies);
     assert_eq!(sequential, oversubscribed);
 
-    // The sharded experiments (E1, E5, E6, E8, E9) re-assemble their rows
-    // in input order; their rendered tables must not depend on threads.
+    // The sharded experiments (E1, E5, E6, E8, E9 and the Theorem-12 suite
+    // E12–E14) re-assemble their rows in input order; their rendered tables
+    // must not depend on threads. For E12–E14 this is the issue's
+    // acceptance contract: the measured workload tables are byte-identical
+    // at every `--threads` setting.
     let runners: Vec<fn(Scale) -> Vec<wsf_analysis::Table>> = vec![
         experiments::e1_thm8_upper,
         experiments::e5_local_touch,
         experiments::e6_super_final,
         experiments::e8_policy_comparison,
         experiments::e9_applications,
+        experiments::e12_dnc_sort,
+        experiments::e13_stencil,
+        experiments::e14_backpressure,
     ];
     for runner in runners {
         set_threads(1);

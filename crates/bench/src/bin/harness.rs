@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! harness [--quick] [--threads N] [all|e1|e2|...|e11]...
+//! harness [--quick] [--threads N] [all|e1|e2|...|e14]...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` uses the reduced

@@ -33,6 +33,21 @@ pub fn thm10_additional_misses(cache_lines: u64, touches: u64, span: u64) -> u64
     cache_lines.saturating_mul(thm10_deviations(touches, span))
 }
 
+/// Theorem 12: the future-first upper bound extends verbatim from
+/// structured single-touch to structured *local-touch* computations —
+/// `O(P·T∞²)` expected deviations. The formula is Theorem 8's; the alias
+/// documents which theorem an experiment over pipelines, streaming sorts or
+/// stencils is actually checking.
+pub fn thm12_deviations(processors: u64, span: u64) -> u64 {
+    thm8_deviations(processors, span)
+}
+
+/// Theorem 12: expected additional cache misses on structured local-touch
+/// computations — `O(C·P·T∞²)`.
+pub fn thm12_additional_misses(cache_lines: u64, processors: u64, span: u64) -> u64 {
+    thm8_additional_misses(cache_lines, processors, span)
+}
+
 /// Spoonhower et al.'s bound for general (unstructured) futures under work
 /// stealing: `Ω(P·T∞ + t·T∞)` deviations.
 pub fn unstructured_deviations(processors: u64, touches: u64, span: u64) -> u64 {
@@ -74,6 +89,8 @@ mod tests {
         assert_eq!(thm8_deviations(4, 10), 400);
         assert_eq!(thm8_additional_misses(8, 4, 10), 3200);
         assert_eq!(thm9_deviations(3, 7), thm8_deviations(3, 7));
+        assert_eq!(thm12_deviations(4, 10), thm8_deviations(4, 10));
+        assert_eq!(thm12_additional_misses(8, 4, 10), 3200);
         assert_eq!(thm10_deviations(16, 10), 160);
         assert_eq!(thm10_additional_misses(8, 16, 10), 1280);
         assert_eq!(unstructured_deviations(4, 16, 10), 200);

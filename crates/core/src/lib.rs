@@ -60,7 +60,8 @@ pub use policy::ForkPolicy;
 pub use ready::{schedule_enabled, Continuation, ReadyTracker};
 pub use report::{ExecutionReport, ProcStats, SeqReport, TraceEvent};
 pub use scheduler::{
-    GreedyScheduler, RandomScheduler, Scheduler, ScriptedScheduler, SleepDirective, WakeCondition,
+    GreedyScheduler, ParsimoniousScheduler, RandomScheduler, Scheduler, ScriptedScheduler,
+    SleepDirective, WakeCondition,
 };
 pub use scratch::SimScratch;
 pub use sequential::SequentialExecutor;

@@ -73,6 +73,63 @@ impl Scheduler for GreedyScheduler {
     }
 }
 
+/// A deterministic, steal-frugal scheduler: a thief must sit out
+/// `patience` consecutive steal opportunities before it is allowed to
+/// steal, and then always robs the lowest-numbered candidate.
+///
+/// Parsimonious work stealing (Arora–Blumofe–Plaxton, and the model of
+/// Section 3) already steals only when a processor's own deque is empty;
+/// this scheduler is the *steal-frugal* deterministic baseline on top of
+/// that rule — it trades makespan for locality by letting busy processors
+/// run ahead instead of eagerly migrating work, and it makes experiment
+/// tables reproducible byte for byte because no randomness is involved.
+/// `patience = 0` behaves exactly like [`GreedyScheduler`].
+#[derive(Clone, Debug)]
+pub struct ParsimoniousScheduler {
+    patience: u32,
+    waited: Vec<u32>,
+}
+
+impl ParsimoniousScheduler {
+    /// Creates a scheduler whose thieves wait out `patience` steal
+    /// opportunities before actually stealing.
+    pub fn new(patience: u32) -> Self {
+        ParsimoniousScheduler {
+            patience,
+            waited: Vec::new(),
+        }
+    }
+
+    fn waited_mut(&mut self, proc: usize) -> &mut u32 {
+        if self.waited.len() <= proc {
+            self.waited.resize(proc + 1, 0);
+        }
+        &mut self.waited[proc]
+    }
+}
+
+impl Scheduler for ParsimoniousScheduler {
+    fn on_complete(&mut self, proc: usize, _node: NodeId, _step: u64) {
+        // The processor had work, so its next idle phase starts from a
+        // fresh waiting budget.
+        *self.waited_mut(proc) = 0;
+    }
+
+    fn choose_victim(&mut self, thief: usize, candidates: &[usize]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let patience = self.patience;
+        let waited = self.waited_mut(thief);
+        if *waited < patience {
+            *waited += 1;
+            return None;
+        }
+        *waited = 0;
+        candidates.first().copied()
+    }
+}
+
 /// When a sleeping processor wakes up again.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum WakeCondition {
@@ -223,6 +280,28 @@ mod tests {
             );
         }
         assert_eq!(a.choose_victim(9, &[]), None);
+    }
+
+    #[test]
+    fn parsimonious_scheduler_waits_then_steals_deterministically() {
+        let mut s = ParsimoniousScheduler::new(2);
+        let candidates = [1usize, 3];
+        // Two refusals, then a steal from the lowest candidate.
+        assert_eq!(s.choose_victim(0, &candidates), None);
+        assert_eq!(s.choose_victim(0, &candidates), None);
+        assert_eq!(s.choose_victim(0, &candidates), Some(1));
+        // The budget resets after the granted steal.
+        assert_eq!(s.choose_victim(0, &candidates), None);
+        // Completing a node also resets an in-progress wait.
+        assert_eq!(s.choose_victim(2, &candidates), None);
+        s.on_complete(2, NodeId(9), 5);
+        assert_eq!(s.choose_victim(2, &candidates), None);
+        // An empty candidate list never consumes the waiting budget.
+        assert_eq!(s.choose_victim(0, &[]), None);
+        // patience = 0 behaves like GreedyScheduler.
+        let mut zero = ParsimoniousScheduler::new(0);
+        assert_eq!(zero.choose_victim(7, &candidates), Some(1));
+        assert!(zero.is_awake(7, 0));
     }
 
     #[test]

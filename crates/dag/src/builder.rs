@@ -47,15 +47,34 @@ impl Default for DagBuilder {
 impl DagBuilder {
     /// Creates a builder whose main thread contains only the root node.
     pub fn new() -> Self {
+        Self::with_capacity(0, 0)
+    }
+
+    /// Like [`DagBuilder::new`], but pre-reserving space for `nodes` nodes
+    /// and `threads` threads.
+    ///
+    /// Generators that know their size up front (the workload builders, the
+    /// random-DAG generator, the figure constructions) should use this: DAG
+    /// construction is the dominant cost of the analysis sweeps, and
+    /// re-growing the node/thread vectors is a measurable part of it.
+    pub fn with_capacity(nodes: usize, threads: usize) -> Self {
         let mut b = DagBuilder {
-            nodes: Vec::new(),
-            threads: Vec::new(),
-            sync_only: Vec::new(),
+            nodes: Vec::with_capacity(nodes),
+            threads: Vec::with_capacity(threads.max(1)),
+            sync_only: Vec::with_capacity(nodes),
         };
         let main = ThreadData::new(ThreadId::MAIN, None, None);
         b.threads.push(main);
         b.new_node(ThreadId::MAIN);
         b
+    }
+
+    /// Reserves capacity for at least `nodes` more nodes and `threads` more
+    /// threads.
+    pub fn reserve(&mut self, nodes: usize, threads: usize) {
+        self.nodes.reserve(nodes);
+        self.sync_only.reserve(nodes);
+        self.threads.reserve(threads);
     }
 
     /// The main thread's id (always [`ThreadId::MAIN`]).

@@ -31,23 +31,45 @@ use crate::ids::ThreadId;
 ///    thread's first node with a future edge;
 /// 7. no child of a fork is a touch node.
 pub fn validate(dag: &Dag) -> Result<(), DagError> {
-    validate_degrees(dag)?;
+    validate_nodes(dag)?;
     validate_root_final(dag)?;
     validate_threads(dag)?;
-    validate_fork_children(dag)?;
     Ok(())
 }
 
-fn validate_degrees(dag: &Dag) -> Result<(), DagError> {
+/// One fused pass over the nodes checking invariants 1–4 (topological
+/// order, degrees) and 7 (no fork child is a touch), plus the per-node half
+/// of invariant 2 (unique root/final shape). This used to be three separate
+/// scans of the node array; at sweep sizes (10^5–10^6 nodes) the extra
+/// passes were a measurable share of DAG construction, and every check here
+/// is per-node, so fusing them changes no outcome.
+fn validate_nodes(dag: &Dag) -> Result<(), DagError> {
     for id in dag.node_ids() {
         let n = dag.node(id);
+        let mut cont_out = 0usize;
+        let mut fut_out = 0usize;
         for e in n.out_edges() {
             if e.node.index() <= id.index() {
                 return Err(DagError::CycleDetected);
             }
+            match () {
+                _ if e.is_continuation() => cont_out += 1,
+                _ if e.is_future() => fut_out += 1,
+                _ => {}
+            }
+            // Invariant 7: no child of a fork is a touch node. Checking at
+            // the fork (over both child edges) is equivalent to the old
+            // dedicated pass over `dag.forks()`.
+            if n.is_fork()
+                && matches!(e.kind, EdgeKind::Continuation | EdgeKind::Future)
+                && dag.node(e.node).is_touch()
+            {
+                return Err(DagError::ForkChildIsTouch {
+                    fork: id,
+                    child: e.node,
+                });
+            }
         }
-        let cont_out = n.out_edges().iter().filter(|e| e.is_continuation()).count();
-        let fut_out = n.out_edges().iter().filter(|e| e.is_future()).count();
         let cont_in = n.in_edges().iter().filter(|e| e.is_continuation()).count();
         let fut_in = n.in_edges().iter().filter(|e| e.is_future()).count();
         let touch_in = n.in_edges().iter().filter(|e| e.is_touch()).count();
@@ -84,13 +106,6 @@ fn validate_degrees(dag: &Dag) -> Result<(), DagError> {
                 detail: format!("in-degree {} exceeds 2", n.in_degree()),
             });
         }
-    }
-    Ok(())
-}
-
-fn validate_root_final(dag: &Dag) -> Result<(), DagError> {
-    for id in dag.node_ids() {
-        let n = dag.node(id);
         if n.in_degree() == 0 && id != dag.root() {
             return Err(DagError::RootOrFinalShape(format!(
                 "{id} has in-degree 0 but is not the root"
@@ -102,6 +117,10 @@ fn validate_root_final(dag: &Dag) -> Result<(), DagError> {
             )));
         }
     }
+    Ok(())
+}
+
+fn validate_root_final(dag: &Dag) -> Result<(), DagError> {
     if dag.node(dag.root()).in_degree() != 0 {
         return Err(DagError::RootOrFinalShape(
             "root has incoming edges".to_string(),
@@ -187,22 +206,6 @@ fn validate_threads(dag: &Dag) -> Result<(), DagError> {
                         detail: "continuation edge crosses threads".to_string(),
                     });
                 }
-            }
-        }
-    }
-    Ok(())
-}
-
-fn validate_fork_children(dag: &Dag) -> Result<(), DagError> {
-    for fork in dag.forks() {
-        for e in dag.node(fork).out_edges() {
-            if matches!(e.kind, EdgeKind::Continuation | EdgeKind::Future)
-                && dag.node(e.node).is_touch()
-            {
-                return Err(DagError::ForkChildIsTouch {
-                    fork,
-                    child: e.node,
-                });
             }
         }
     }

@@ -14,25 +14,51 @@
 //!
 //! # Memory reclamation
 //!
-//! Exhausted segments are *retired* into a list owned by the queue and
-//! freed when the queue is dropped, exactly like the retired buffers of
-//! [`crate::chase_lev`] (see the module docs there for why this is a sound
-//! and simple alternative to epochs/hazard pointers). A segment holds
-//! [`SEG_CAP`] slots, so the retained memory is proportional to the
-//! *total number of pushes* divided by `SEG_CAP` (roughly 48 bytes per
-//! queued `Box<dyn FnOnce>` task over the queue's lifetime) — fine for
-//! run-to-completion pools and the experiment harness, but a deliberate
-//! trade-off for a months-lived server ingesting unbounded external
-//! traffic, which would want the retired segments recycled under a
-//! reader-quiescence protocol instead (see ROADMAP). The retired list
-//! itself is guarded by a `Mutex`, but it is touched only once per
-//! `SEG_CAP` pops, never on the push/steal fast path.
+//! Exhausted segments used to be *retired* until the queue dropped, which
+//! retained ~48 bytes per task *ever pushed* — fine for run-to-completion
+//! pools, unacceptable for a months-lived ingest server. They are now
+//! **recycled** under a reader-quiescence rule:
+//!
+//! * every `push`/`steal`/`is_empty` holds a guard that increments a
+//!   process-wide `active` operation counter for exactly the window in
+//!   which it may dereference segment pointers;
+//! * a drained segment goes to a *limbo* list (stalled operations counted
+//!   in `active` may still be reading it);
+//! * when a producer needs a segment and observes `active == 1` (itself
+//!   and nobody else), every limbo segment is provably unreachable — the
+//!   head has moved past it, forward `next` chains cannot reach it, and no
+//!   other operation is in flight to hold a stale pointer — so limbo moves
+//!   wholesale to a *free* list, from which segments are reinitialized and
+//!   reused instead of freshly allocated.
+//!
+//! The retained memory is therefore `O(live queue length + segments in
+//! limbo/free)`, and the stress suite asserts the allocation count stays
+//! `O(SEG_CAP)`-bounded per steady-state round instead of growing with the
+//! total push count. When consumers race continuously (so `active` is
+//! never observed at 1), recycling is deferred — never unsound — and the
+//! scheme degrades to the old retire-until-drop behaviour at worst.
+//! The limbo/free lists live behind a `Mutex`, but it is touched only once
+//! per `SEG_CAP` pushes or pops, never on the fast path, and the producer
+//! side only ever `try_lock`s (falling back to a fresh allocation), so
+//! lock-freedom is preserved.
+//!
+//! The quiescence protocol does put one cost on the fast path: every
+//! operation performs a wait-free SeqCst increment/decrement on the
+//! shared `active` counter — the price of bounding memory. (The protocol's
+//! other SeqCst upgrades are free where it matters: SC loads compile to
+//! the same instructions as acquire loads on x86 and aarch64, and the
+//! head/tail CASes were already locked RMWs.) The queue's other fast-path
+//! RMWs (`push_idx` fetch-add, `pop_idx` CAS) already serialize on shared
+//! lines, so the counter changes constants, not the scaling class; a
+//! months-lived server that measures it as a bottleneck would stripe
+//! `active` per thread and sum the stripes at the once-per-`SEG_CAP`
+//! quiescence check (see ROADMAP).
 //!
 //! # Safety argument (summary)
 //!
 //! * A slot index is handed to exactly one producer (`fetch_add` on
 //!   `push`) and exactly one consumer (successful CAS on `pop`), so each
-//!   slot sees one write and one read.
+//!   slot sees one write and one read per segment lifetime.
 //! * The consumer reads the value only after observing the slot's `FULL`
 //!   flag with `Acquire`, which synchronizes with the producer's `Release`
 //!   store after the value write.
@@ -40,8 +66,16 @@
 //!   i.e. only slots some producer has already claimed; the spin between
 //!   claim and `FULL` is bounded by that producer's two remaining
 //!   instructions.
-//! * Segment pointers read by stalled threads stay valid because segments
-//!   are never freed before the queue drops.
+//! * A segment enters limbo only after the head CAS moved past it, and the
+//!   retiring consumer then helps the tail CAS past it too, so neither
+//!   `head` nor `tail` can point at a limbo segment and forward `next`
+//!   walks from any live segment cannot reach it.
+//! * Limbo segments move to the free list only at a moment when
+//!   `active == 1`: the sole in-flight operation is the producer doing the
+//!   transfer, which holds no stale pointers, and operations starting
+//!   later re-read `head`/`tail` and therefore cannot reach the segment.
+//!   Reinitialization happens before the segment is re-published via a
+//!   `Release` CAS, exactly like a fresh allocation.
 
 use crossbeam_utils::CachePadded;
 use std::cell::UnsafeCell;
@@ -85,6 +119,14 @@ impl<T> Segment<T> {
     }
 }
 
+/// Fully-drained segments awaiting reuse. `limbo` segments were just
+/// unlinked and may still be read by stalled in-flight operations; `free`
+/// segments are quiescent and ready for reinitialization.
+struct Recycler<T> {
+    limbo: Vec<*mut Segment<T>>,
+    free: Vec<*mut Segment<T>>,
+}
+
 /// An unbounded lock-free MPMC FIFO queue.
 ///
 /// ```
@@ -100,19 +142,33 @@ impl<T> Segment<T> {
 pub struct Injector<T> {
     head: CachePadded<AtomicPtr<Segment<T>>>,
     tail: CachePadded<AtomicPtr<Segment<T>>>,
-    /// Fully-consumed segments, freed when the queue drops (see the module
-    /// docs on reclamation).
-    retired: Mutex<Vec<*mut Segment<T>>>,
+    /// In-flight `push`/`steal`/`is_empty` operations; the quiescence
+    /// signal for moving limbo segments to the free list.
+    active: CachePadded<AtomicUsize>,
+    /// Drained segments awaiting reuse (see the module docs).
+    recycler: Mutex<Recycler<T>>,
+    /// Segments ever allocated from the heap (diagnostics; the stress
+    /// suite asserts this stays bounded under recycling).
+    allocations: AtomicUsize,
 }
 
 // SAFETY: the queue transfers `T` values across threads, so `T: Send` is
-// required; all shared mutation goes through atomics or the retired mutex.
+// required; all shared mutation goes through atomics or the recycler mutex.
 unsafe impl<T: Send> Send for Injector<T> {}
 unsafe impl<T: Send> Sync for Injector<T> {}
 
 impl<T: Send> Default for Injector<T> {
     fn default() -> Self {
         Injector::new()
+    }
+}
+
+/// Decrements the active-operation counter on scope exit.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -123,16 +179,95 @@ impl<T: Send> Injector<T> {
         Injector {
             head: CachePadded::new(AtomicPtr::new(seg)),
             tail: CachePadded::new(AtomicPtr::new(seg)),
-            retired: Mutex::new(Vec::new()),
+            active: CachePadded::new(AtomicUsize::new(0)),
+            recycler: Mutex::new(Recycler {
+                limbo: Vec::new(),
+                free: Vec::new(),
+            }),
+            allocations: AtomicUsize::new(1),
         }
+    }
+
+    fn enter(&self) -> ActiveGuard<'_> {
+        // The announcement half of the hazard-style protocol: the SeqCst
+        // increment, the SeqCst `head`/`tail` loads and unlink CASes, and
+        // the reclaimer's SeqCst check in `obtain_segment` all live in the
+        // single sequentially-consistent order S (which is consistent with
+        // both program order and happens-before). If the reclaimer's
+        // `active` load misses this operation, the increment — and hence
+        // this operation's later pointer loads — follow that load in S,
+        // and an SC load must observe the last SC write to its location
+        // preceding it in S: the loads see the unlinking CASes that
+        // happened before the reclaim decision and cannot return a pointer
+        // to a segment being reinitialized. (SC loads cost the same as
+        // acquire loads on x86/aarch64, so unlike a per-operation SeqCst
+        // fence this keeps the fast path at its pre-recycling cost.)
+        self.active.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(&self.active)
+    }
+
+    /// Hands out a segment for the tail chain: a recycled one when the
+    /// queue is quiescent enough to prove reuse safe, a fresh allocation
+    /// otherwise. Called with the caller's [`ActiveGuard`] held; `avoid` is
+    /// the segment the caller is about to link the result onto, which must
+    /// not be handed back to it — the caller's pointer may be stale (the
+    /// segment drained and parked since it was read), and reinitializing it
+    /// here would let the caller link the segment onto itself.
+    fn obtain_segment(&self, avoid: *mut Segment<T>) -> *mut Segment<T> {
+        let candidate = if let Ok(mut r) = self.recycler.try_lock() {
+            // Quiescence check (the reclaimer half of the protocol — see
+            // `enter`): this producer is the only in-flight operation, so
+            // nobody holds a stale pointer into limbo, operations entering
+            // later re-read `head`/`tail`, and every limbo segment is
+            // unreachable from both.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) == 1 && !r.limbo.is_empty() {
+                let limbo = std::mem::take(&mut r.limbo);
+                r.free.extend(limbo);
+            }
+            match r.free.pop() {
+                Some(seg) if seg == avoid => {
+                    let other = r.free.pop();
+                    r.free.push(seg); // keep the caller's own segment parked
+                    other
+                }
+                other => other,
+            }
+            // The mutex guard drops here: the O(SEG_CAP) reinitialization
+            // below must not stall a consumer blocking on the lock to
+            // retire a segment.
+        } else {
+            None
+        };
+        if let Some(seg) = candidate {
+            // SAFETY: free segments are unreachable and quiescent (see the
+            // module docs), and `seg` left the free list above, so we have
+            // exclusive access until the segment is re-published by the
+            // caller's Release CAS (which also publishes these plain
+            // writes, exactly as for a fresh allocation).
+            unsafe {
+                let s = &mut *seg;
+                *(*s.push_idx).get_mut() = 0;
+                *(*s.pop_idx).get_mut() = 0;
+                *s.next.get_mut() = ptr::null_mut();
+                for slot in &mut s.slots {
+                    *slot.state.get_mut() = EMPTY;
+                }
+            }
+            return seg;
+        }
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        Box::into_raw(Segment::<T>::boxed())
     }
 
     /// Pushes `value` at the back of the queue.
     pub fn push(&self, value: T) {
+        let _guard = self.enter();
         loop {
-            let seg_ptr = self.tail.load(Ordering::Acquire);
-            // SAFETY: segments are freed only on drop, so any pointer read
-            // from `tail` stays valid for the lifetime of `&self`.
+            let seg_ptr = self.tail.load(Ordering::SeqCst);
+            // SAFETY: the guard keeps us counted in `active`, so any
+            // segment pointer read from `tail` stays allocated and is not
+            // reinitialized while we hold it.
             let seg = unsafe { &*seg_ptr };
             let i = seg.push_idx.fetch_add(1, Ordering::Relaxed);
             if i < SEG_CAP {
@@ -148,7 +283,7 @@ impl<T: Send> Injector<T> {
             // advance the tail pointer, retry there.
             let next = seg.next.load(Ordering::Acquire);
             if next.is_null() {
-                let new = Box::into_raw(Segment::<T>::boxed());
+                let new = self.obtain_segment(seg_ptr);
                 match seg.next.compare_exchange(
                     ptr::null_mut(),
                     new,
@@ -159,20 +294,19 @@ impl<T: Send> Injector<T> {
                         let _ = self.tail.compare_exchange(
                             seg_ptr,
                             new,
-                            Ordering::AcqRel,
+                            Ordering::SeqCst,
                             Ordering::Relaxed,
                         );
                     }
                     Err(actual) => {
-                        // Another producer installed it first.
-                        // SAFETY: `new` was never shared.
-                        unsafe {
-                            drop(Box::from_raw(new));
-                        }
+                        // Another producer installed it first. `new` was
+                        // never shared: hand it straight to the free list
+                        // (or drop it if the lock is contended).
+                        self.release_unshared(new);
                         let _ = self.tail.compare_exchange(
                             seg_ptr,
                             actual,
-                            Ordering::AcqRel,
+                            Ordering::SeqCst,
                             Ordering::Relaxed,
                         );
                     }
@@ -180,16 +314,29 @@ impl<T: Send> Injector<T> {
             } else {
                 let _ =
                     self.tail
-                        .compare_exchange(seg_ptr, next, Ordering::AcqRel, Ordering::Relaxed);
+                        .compare_exchange(seg_ptr, next, Ordering::SeqCst, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Returns a segment that was obtained but never published.
+    fn release_unshared(&self, seg: *mut Segment<T>) {
+        if let Ok(mut r) = self.recycler.try_lock() {
+            r.free.push(seg);
+        } else {
+            // SAFETY: `seg` was never shared with another thread.
+            unsafe {
+                drop(Box::from_raw(seg));
             }
         }
     }
 
     /// Takes the value at the front of the queue, if any.
     pub fn steal(&self) -> Option<T> {
+        let _guard = self.enter();
         loop {
-            let seg_ptr = self.head.load(Ordering::Acquire);
-            // SAFETY: see `push` — segment pointers stay valid until drop.
+            let seg_ptr = self.head.load(Ordering::SeqCst);
+            // SAFETY: see `push` — the guard keeps the segment stable.
             let seg = unsafe { &*seg_ptr };
             let mut i = seg.pop_idx.load(Ordering::Relaxed);
             loop {
@@ -219,14 +366,21 @@ impl<T: Send> Injector<T> {
             }
             if self
                 .head
-                .compare_exchange(seg_ptr, next, Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange(seg_ptr, next, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
-                // Retire (don't free) the exhausted segment: stalled
-                // stealers may still be reading their claimed slots in it.
-                self.retired
+                // Help the tail past the drained segment so no pointer in
+                // the queue structure references it, then park it in limbo:
+                // stalled operations counted in `active` may still be
+                // reading it, so it only becomes reusable at the next
+                // quiescence point (see `obtain_segment`).
+                let _ =
+                    self.tail
+                        .compare_exchange(seg_ptr, next, Ordering::SeqCst, Ordering::Relaxed);
+                self.recycler
                     .lock()
-                    .expect("retired lock poisoned")
+                    .expect("recycler lock poisoned")
+                    .limbo
                     .push(seg_ptr);
             }
         }
@@ -256,26 +410,42 @@ impl<T: Send> Injector<T> {
     /// Whether the queue appears empty (exact only when no concurrent
     /// operations are in flight).
     pub fn is_empty(&self) -> bool {
-        let seg_ptr = self.head.load(Ordering::Acquire);
+        let _guard = self.enter();
+        let seg_ptr = self.head.load(Ordering::SeqCst);
         // SAFETY: see `push`.
         let seg = unsafe { &*seg_ptr };
         let i = seg.pop_idx.load(Ordering::Relaxed);
         i >= seg.push_idx.load(Ordering::Relaxed).min(SEG_CAP)
             && seg.next.load(Ordering::Relaxed).is_null()
     }
+
+    /// Number of segments ever allocated from the heap (diagnostics).
+    ///
+    /// With recycling, steady-state traffic re-uses drained segments, so
+    /// this stays `O(live queue length / SEG_CAP + concurrent operations)`
+    /// instead of growing with the total number of pushes — the property
+    /// the `crates/deque/tests/stress.rs` retention test locks in.
+    pub fn segments_allocated(&self) -> usize {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of drained segments currently parked for reuse (limbo +
+    /// free; diagnostics).
+    pub fn segments_parked(&self) -> usize {
+        let r = self.recycler.lock().expect("recycler lock poisoned");
+        r.limbo.len() + r.free.len()
+    }
 }
 
 impl<T> Drop for Injector<T> {
     fn drop(&mut self) {
-        // Retired segments were fully consumed: free the memory only.
-        for &old in self
-            .retired
-            .get_mut()
-            .expect("retired lock poisoned")
-            .iter()
-        {
-            // SAFETY: exclusive access during drop; every slot of a retired
-            // segment was claimed and read by exactly one consumer.
+        // Limbo and free segments were fully consumed (or never used):
+        // free the memory only.
+        let recycler = self.recycler.get_mut().expect("recycler lock poisoned");
+        for &old in recycler.limbo.iter().chain(recycler.free.iter()) {
+            // SAFETY: exclusive access during drop; every slot of a parked
+            // segment was claimed and read by exactly one consumer (or the
+            // segment was reinitialized and never published).
             unsafe {
                 drop(Box::from_raw(old));
             }
@@ -361,5 +531,50 @@ mod tests {
         q.push("x".into());
         assert_eq!(q.steal(), Some("x".into()));
         assert_eq!(q.steal(), None);
+    }
+
+    #[test]
+    fn single_threaded_traffic_recycles_segments() {
+        // 100 segment lifetimes of traffic through a queue that never holds
+        // more than one segment's worth of items: without recycling this
+        // allocates ~100 segments, with recycling a small constant.
+        let q = Injector::new();
+        let mut expected = 0usize;
+        for _ in 0..100 {
+            for i in 0..SEG_CAP {
+                q.push(expected + i);
+            }
+            for _ in 0..SEG_CAP {
+                assert_eq!(q.steal(), Some(expected));
+                expected += 1;
+            }
+        }
+        assert!(
+            q.segments_allocated() <= 4,
+            "{} segments allocated for bounded traffic",
+            q.segments_allocated()
+        );
+        assert!(q.segments_parked() <= q.segments_allocated());
+    }
+
+    #[test]
+    fn values_survive_recycled_segments() {
+        // Drive enough traffic that segments are reused several times and
+        // check every value still arrives exactly once, in order.
+        let q = Injector::new();
+        let mut next_out = 0usize;
+        let mut next_in = 0usize;
+        for round in 0..40 {
+            let burst = SEG_CAP / 2 + round; // straddle segment boundaries
+            for _ in 0..burst {
+                q.push(next_in);
+                next_in += 1;
+            }
+            for _ in 0..burst {
+                assert_eq!(q.steal(), Some(next_out));
+                next_out += 1;
+            }
+        }
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,201 @@
+//! Streaming pipelines with bounded backpressure (Theorem 12 workload).
+//!
+//! [`crate::pipeline::pipeline`] lets every stage run arbitrarily far ahead
+//! of its consumer: all `items` futures of a stage may exist unconsumed at
+//! once. [`batched_pipeline`] is the strict generalization with a bounded
+//! window: items flow in batches of at most `window`, and the worker thread
+//! for a stage's next batch is only forked after the consumer has drained
+//! the previous one — so at most O(`window`) values per stage are ever in
+//! flight, by construction of the DAG rather than by scheduler luck. This
+//! is the DAG shape of Blelloch/Reid-Miller pipelining with a bounded
+//! buffer. `window >= items` degenerates to exactly one batch per stage,
+//! i.e. the unbatched pipeline shape.
+//!
+//! Structure per batch `b`: the consumer forks a stage-1 worker `T(1,b)`;
+//! `T(s,b)`'s first action is to fork `T(s+1,b)`; each worker then, per
+//! item, runs its `work` chain, touches the corresponding value of its
+//! child worker, and publishes its own value for its parent. Every worker
+//! is touched once per item of its batch, by its parent — structured
+//! local-touch (Definition 3); with `window == 1` every worker is touched
+//! exactly once and the DAG is single-touch as well.
+//!
+//! Block ids come from a shared [`BlockAlloc`] (per-stage work and value
+//! regions plus the consumer's output array), collision-checked in
+//! `crates/workloads/tests/block_collisions.rs`.
+
+use crate::block_alloc::{BlockAlloc, BlockRegion};
+use wsf_dag::{Dag, DagBuilder, NodeId, ThreadId};
+
+/// Builds the bounded-backpressure pipeline DAG: `stages` stage workers per
+/// batch, `items` items flowing in batches of at most `window`, `work`
+/// work nodes per item per stage.
+pub fn batched_pipeline(stages: usize, items: usize, window: usize, work: usize) -> Dag {
+    let stages = stages.max(1);
+    let items = items.max(1);
+    let window = window.max(1).min(items);
+    let work = work.max(1);
+
+    let mut alloc = BlockAlloc::new();
+    let stage_work: Vec<_> = (1..=stages)
+        .map(|s| alloc.region(format!("stage{s}/work"), items * work))
+        .collect();
+    let stage_value: Vec<_> = (1..=stages)
+        .map(|s| alloc.region(format!("stage{s}/value"), items))
+        .collect();
+    let dispatch = alloc.region("main/dispatch", items.div_ceil(window));
+    let output = alloc.region("main/output", items);
+
+    let mut b = DagBuilder::with_capacity(
+        stages * items * (work + 2) + 3 * items + 4,
+        stages * items.div_ceil(window) + 1,
+    );
+    let main = ThreadId::MAIN;
+    let mut batch = 0usize;
+    let mut first = 0usize;
+    while first < items {
+        let batch_len = window.min(items - first);
+        // Fork this batch's stage-1 worker; the whole worker chain for the
+        // batch is built before the consumer touches anything, and the next
+        // batch's workers do not exist until this loop iteration is over —
+        // that is the backpressure.
+        let f = b.fork(main);
+        let values = build_worker(
+            &mut b,
+            f.future_thread,
+            1,
+            stages,
+            first,
+            batch_len,
+            work,
+            &stage_work,
+            &stage_value,
+        );
+        // The fork's right child models the batch dispatch; it may not be a
+        // touch node.
+        let n = b.task(main);
+        b.set_block(n, dispatch.block(batch));
+        for (i, v) in values.into_iter().enumerate() {
+            b.touch(main, v);
+            let n = b.task(main);
+            b.set_block(n, output.block(first + i));
+        }
+        first += batch_len;
+        batch += 1;
+    }
+    b.finish().expect("batched pipeline builds a valid DAG")
+}
+
+/// Builds the stage-`s` worker thread of one batch, returning the value
+/// nodes its parent must touch in order.
+#[allow(clippy::too_many_arguments)]
+fn build_worker(
+    b: &mut DagBuilder,
+    thread: ThreadId,
+    s: usize,
+    stages: usize,
+    first: usize,
+    batch_len: usize,
+    work: usize,
+    stage_work: &[BlockRegion],
+    stage_value: &[BlockRegion],
+) -> Vec<NodeId> {
+    // Deeper stages first: fork the child worker for the same batch.
+    let child_values = if s < stages {
+        let f = b.fork(thread);
+        Some(build_worker(
+            b,
+            f.future_thread,
+            s + 1,
+            stages,
+            first,
+            batch_len,
+            work,
+            stage_work,
+            stage_value,
+        ))
+    } else {
+        None
+    };
+
+    let mut values = Vec::with_capacity(batch_len);
+    for i in 0..batch_len {
+        let item = first + i;
+        for w in 0..work {
+            let n = b.task(thread);
+            b.set_block(n, stage_work[s - 1].block(item * work + w));
+        }
+        if let Some(cv) = &child_values {
+            b.touch(thread, cv[i]);
+        }
+        let v = b.task(thread);
+        b.set_block(v, stage_value[s - 1].block(item));
+        values.push(v);
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ForkPolicy, ParallelSimulator, SimConfig};
+    use wsf_dag::classify;
+
+    #[test]
+    fn batched_pipeline_is_local_touch() {
+        let dag = batched_pipeline(3, 8, 4, 2);
+        let class = classify(&dag);
+        assert!(class.structured, "{:?}", class.violations);
+        assert!(class.local_touch, "{:?}", class.violations);
+        assert!(!class.single_touch, "workers are touched once per item");
+    }
+
+    #[test]
+    fn unit_window_is_single_touch() {
+        let dag = batched_pipeline(3, 6, 1, 2);
+        let class = classify(&dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert!(class.is_structured_local_touch());
+    }
+
+    #[test]
+    fn window_bounds_worker_batch_sizes() {
+        // stages * ceil(items/window) worker threads, none touched more
+        // than `window` times.
+        let (stages, items, window) = (3usize, 10usize, 4usize);
+        let dag = batched_pipeline(stages, items, window, 1);
+        assert_eq!(
+            dag.num_threads(),
+            1 + stages * items.div_ceil(window),
+            "one worker per (stage, batch)"
+        );
+        for t in dag.thread_ids().filter(|t| !t.is_main()) {
+            let touches = dag.touches_of_thread(t).len();
+            assert!(
+                (1..=window).contains(&touches),
+                "{t} touched {touches} times, window is {window}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_window_matches_unbatched_shape() {
+        // window >= items: one batch, a single worker chain per stage —
+        // the `pipeline()` thread structure.
+        let dag = batched_pipeline(4, 6, 100, 2);
+        assert_eq!(dag.num_threads(), 5);
+        let class = classify(&dag);
+        assert!(class.is_structured_local_touch());
+    }
+
+    #[test]
+    fn batched_pipeline_executes_under_both_policies() {
+        let dag = batched_pipeline(3, 9, 2, 2);
+        for policy in ForkPolicy::ALL {
+            for p in [1usize, 4] {
+                let report = ParallelSimulator::new(SimConfig::new(p, 16, policy)).run(&dag);
+                assert!(report.completed, "{policy} P={p}");
+                assert_eq!(report.executed(), dag.num_nodes() as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Disjoint memory-block allocation shared by the workload builders.
+//!
+//! Every workload generator used to compute its [`Block`] ids with ad-hoc
+//! arithmetic (`s*items*work + item*work + w`, ...), and one of those
+//! formulas collided: in [`crate::pipeline`], value-node ids aliased
+//! unrelated work-node ids whenever `work > 1`, silently skewing every
+//! pipeline cache-miss table. [`BlockAlloc`] replaces the arithmetic with a
+//! bump allocator handing out named, contiguous, *provably disjoint*
+//! [`BlockRegion`]s: a region can only produce ids inside its own range
+//! (indexing past the end panics), and ranges never overlap by
+//! construction, so two distinct `(region, index)` pairs can never map to
+//! the same block id.
+
+use wsf_dag::Block;
+
+/// A bump allocator for disjoint [`BlockRegion`]s.
+///
+/// ```
+/// use wsf_workloads::block_alloc::BlockAlloc;
+///
+/// let mut alloc = BlockAlloc::new();
+/// let a = alloc.region("stage1/work", 6);
+/// let b = alloc.region("stage1/value", 3);
+/// assert_ne!(a.block(5), b.block(0));
+/// assert_eq!(alloc.allocated(), 9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BlockAlloc {
+    next: u32,
+}
+
+/// A contiguous range of block ids owned by one logical array of the
+/// workload (an input run, a stage's value slots, a row's interior, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockRegion {
+    label: String,
+    base: u32,
+    len: u32,
+}
+
+impl BlockAlloc {
+    /// Creates an allocator starting at block id 0.
+    pub fn new() -> Self {
+        BlockAlloc::default()
+    }
+
+    /// Reserves a fresh region of `len` blocks, disjoint from every region
+    /// handed out before.
+    ///
+    /// # Panics
+    /// Panics if the total allocation would overflow the `u32` block-id
+    /// space.
+    pub fn region(&mut self, label: impl Into<String>, len: usize) -> BlockRegion {
+        let label = label.into();
+        let len =
+            u32::try_from(len).unwrap_or_else(|_| panic!("region {label}: len overflows u32"));
+        let base = self.next;
+        self.next = base
+            .checked_add(len)
+            .unwrap_or_else(|| panic!("region {label}: block-id space exhausted"));
+        BlockRegion { label, base, len }
+    }
+
+    /// Reserves a single-block region and returns its block id directly.
+    pub fn single(&mut self, label: impl Into<String>) -> Block {
+        self.region(label, 1).block(0)
+    }
+
+    /// Total number of block ids handed out so far.
+    pub fn allocated(&self) -> usize {
+        self.next as usize
+    }
+}
+
+impl BlockRegion {
+    /// The `i`-th block of the region.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()` — an out-of-range index is exactly the kind
+    /// of arithmetic slip that used to alias neighbouring regions, so it is
+    /// rejected instead of wrapping into someone else's ids.
+    pub fn block(&self, i: usize) -> Block {
+        assert!(
+            i < self.len as usize,
+            "region {}: index {i} out of range (len {})",
+            self.label,
+            self.len
+        );
+        Block(self.base + i as u32)
+    }
+
+    /// Number of blocks in the region.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The region's label (used in panic messages and debugging).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether this region overlaps `other`.
+    pub fn overlaps(&self, other: &BlockRegion) -> bool {
+        let (a0, a1) = (self.base as u64, self.base as u64 + self.len as u64);
+        let (b0, b1) = (other.base as u64, other.base as u64 + other.len as u64);
+        a0 < b1 && b0 < a1 && self.len > 0 && other.len > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_by_construction() {
+        let mut alloc = BlockAlloc::new();
+        let regions: Vec<BlockRegion> = (0..8).map(|i| alloc.region(format!("r{i}"), 5)).collect();
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{} overlaps {}", a.label(), b.label());
+            }
+        }
+        assert_eq!(alloc.allocated(), 40);
+    }
+
+    #[test]
+    fn blocks_enumerate_the_region() {
+        let mut alloc = BlockAlloc::new();
+        let skip = alloc.region("skip", 3);
+        let r = alloc.region("r", 4);
+        assert_eq!(skip.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.block(0), Block(3));
+        assert_eq!(r.block(3), Block(6));
+        assert_eq!(alloc.single("one"), Block(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let mut alloc = BlockAlloc::new();
+        let r = alloc.region("r", 2);
+        let _ = r.block(2);
+    }
+
+    #[test]
+    fn empty_region_never_overlaps() {
+        let mut alloc = BlockAlloc::new();
+        let e = alloc.region("e", 0);
+        let r = alloc.region("r", 3);
+        assert!(e.is_empty());
+        assert!(!e.overlaps(&r));
+    }
+}

@@ -9,16 +9,26 @@
 //! * application-shaped workloads — fork-join divide and conquer
 //!   ([`apps`]), local-touch pipelines ([`pipeline`]), random structured
 //!   single-touch DAGs ([`random`]) and closure-based versions of the same
-//!   programs for the real runtime ([`runtime_apps`]).
+//!   programs for the real runtime ([`runtime_apps`]);
+//! * the Theorem-12 workload suite — divide-and-conquer mergesort in
+//!   fork-join and streaming-merge variants ([`sort`]), wavefront stencil
+//!   grids with boundary-exchange futures ([`stencil`]) and streaming
+//!   pipelines with bounded backpressure ([`backpressure`]), all drawing
+//!   their memory-block ids from the shared collision-checked
+//!   [`block_alloc::BlockAlloc`].
 //!
-//! Every generator documents which experiment (E1–E10 in `DESIGN.md`) it
+//! Every generator documents which experiment (E1–E14 in `DESIGN.md`) it
 //! feeds and which figure or theorem of the paper it reproduces.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+pub mod backpressure;
+pub mod block_alloc;
 pub mod figures;
 pub mod pipeline;
 pub mod random;
 pub mod runtime_apps;
+pub mod sort;
+pub mod stencil;

@@ -4,8 +4,17 @@
 //! touched by the thread's own parent — the structure Blelloch and
 //! Reid-Miller use for pipelining with futures. A stage thread produces one
 //! future value per item; the consumer (its parent) touches them in order.
+//!
+//! Block ids come from a shared [`BlockAlloc`], which keeps each stage's
+//! work blocks, its value slots and the consumer's output array provably
+//! disjoint. The previous hand-rolled formula (`s*items*work + item` for
+//! values vs `s*items*work + item*work + w` for work nodes) collided for
+//! `work > 1`: touched values aliased unrelated work blocks and every
+//! pipeline cache-miss table was silently skewed. The regression test for
+//! that bug lives in `crates/workloads/tests/block_collisions.rs`.
 
-use wsf_dag::{Block, Dag, DagBuilder, NodeId, ThreadId};
+use crate::block_alloc::BlockAlloc;
+use wsf_dag::{Dag, DagBuilder, NodeId, ThreadId};
 
 /// Builds a producer/consumer pipeline with `stages` stage threads each
 /// producing `items` futures touched in order by its parent stage.
@@ -19,7 +28,18 @@ pub fn pipeline(stages: usize, items: usize, work: usize) -> Dag {
     let stages = stages.max(1);
     let items = items.max(1);
     let work = work.max(1);
-    let mut b = DagBuilder::new();
+    let mut alloc = BlockAlloc::new();
+    // One work region and one value region per stage, plus the main
+    // thread's output array — all pairwise disjoint.
+    let stage_work: Vec<_> = (1..=stages)
+        .map(|s| alloc.region(format!("stage{s}/work"), items * work))
+        .collect();
+    let stage_value: Vec<_> = (1..=stages)
+        .map(|s| alloc.region(format!("stage{s}/value"), items))
+        .collect();
+    let output = alloc.region("main/output", items);
+
+    let mut b = DagBuilder::with_capacity(stages * items * (work + 2) + 2 * items + 4, stages + 1);
 
     // Create the chain of stage threads: main spawns stage 1, stage 1
     // spawns stage 2, ...
@@ -40,7 +60,7 @@ pub fn pipeline(stages: usize, items: usize, work: usize) -> Dag {
         for item in 0..items {
             for w in 0..work {
                 let n = b.task(thread);
-                b.set_block(n, Block((s * items * work + item * work + w) as u32));
+                b.set_block(n, stage_work[s - 1].block(item * work + w));
             }
             // Consume the child's corresponding item, if any.
             if s < stages {
@@ -49,7 +69,7 @@ pub fn pipeline(stages: usize, items: usize, work: usize) -> Dag {
             }
             // The value node the parent will touch.
             let value = b.task(thread);
-            b.set_block(value, Block((s * items * work + item) as u32));
+            b.set_block(value, stage_value[s - 1].block(item));
             produced[s].push(value);
         }
     }
@@ -60,7 +80,7 @@ pub fn pipeline(stages: usize, items: usize, work: usize) -> Dag {
     for (item, &value) in produced[1].iter().enumerate() {
         b.touch(main, value);
         let n = b.task(main);
-        b.set_block(n, Block(item as u32));
+        b.set_block(n, output.block(item));
     }
     b.finish().expect("pipeline builds a valid DAG")
 }
@@ -95,6 +115,31 @@ mod tests {
             let report = ParallelSimulator::new(SimConfig::new(4, 16, policy)).run(&dag);
             assert!(report.completed, "{policy}");
             assert_eq!(report.executed(), dag.num_nodes() as u64);
+        }
+    }
+
+    #[test]
+    fn value_blocks_never_alias_work_blocks() {
+        // The regression the shared allocator fixes: with work > 1 the old
+        // id formulas mapped stage s's item-i value onto stage s's work
+        // blocks. Touch sources (value nodes) must use blocks no other node
+        // kind uses.
+        let dag = pipeline(3, 5, 3);
+        let value_blocks: std::collections::HashSet<_> = dag
+            .touches()
+            .filter_map(|x| dag.future_parent(x))
+            .filter_map(|v| dag.block_of(v))
+            .collect();
+        for id in dag.node_ids() {
+            let is_value = dag.node(id).is_future_parent();
+            if let Some(blk) = dag.block_of(id) {
+                if !is_value {
+                    assert!(
+                        !value_blocks.contains(&blk),
+                        "{id}: non-value node reuses value block {blk}"
+                    );
+                }
+            }
         }
     }
 }

@@ -44,8 +44,11 @@ impl Default for RandomConfig {
 /// Generates a random structured single-touch DAG.
 pub fn random_single_touch(config: &RandomConfig) -> Dag {
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut b = DagBuilder::new();
+    // The generator stops within a few nodes of `budget` (one final touch
+    // fan-in per live thread), so reserving the budget up front removes
+    // nearly every reallocation of the node/edge arrays.
     let budget = config.target_nodes.max(16);
+    let mut b = DagBuilder::with_capacity(budget + 8, budget / 8);
     let mut created = 1usize;
     grow(
         &mut b,

@@ -52,6 +52,95 @@ where
     futures.into_iter().map(|f| f.touch()).reduce(combine)
 }
 
+/// Parallel mergesort: the left half is sorted by a future, the right half
+/// inline, then the two sorted runs are merged — the runtime counterpart of
+/// the [`crate::sort::mergesort`] DAG family.
+pub fn merge_sort(rt: &Arc<Runtime>, mut data: Vec<u64>, grain: usize) -> Vec<u64> {
+    let grain = grain.max(1);
+    if data.len() <= grain {
+        data.sort_unstable();
+        return data;
+    }
+    let right_half = data.split_off(data.len() / 2);
+    let rt2 = Arc::clone(rt);
+    let left = rt.spawn_future(move || merge_sort(&rt2, data, grain));
+    let right = merge_sort(rt, right_half, grain);
+    merge(left.touch(), right)
+}
+
+fn merge(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// A 2D stencil sweep on the real runtime: `steps` Jacobi-style iterations
+/// over a `rows × cols` grid, one future per row per step, each row
+/// averaging itself with both neighbours. Unlike the one-sided wavefront
+/// the DAG model needs ([`crate::stencil::stencil`]), the runtime does the
+/// full both-neighbours exchange — each row future gets its own snapshot
+/// handle, so every future is still touched exactly once.
+pub fn stencil(rt: &Arc<Runtime>, rows: usize, cols: usize, steps: usize) -> Vec<Vec<u64>> {
+    let rows = rows.max(1);
+    let cols = cols.max(1);
+    let mut grid: Arc<Vec<Vec<u64>>> = Arc::new(
+        (0..rows)
+            .map(|r| (0..cols).map(|c| ((r * cols + c) % 97) as u64).collect())
+            .collect(),
+    );
+    for _ in 0..steps {
+        let futures: Vec<_> = (0..rows)
+            .map(|r| {
+                let grid = Arc::clone(&grid);
+                rt.spawn_future(move || {
+                    (0..cols)
+                        .map(|c| {
+                            let up = grid[r.saturating_sub(1)][c];
+                            let down = grid[(r + 1).min(grid.len() - 1)][c];
+                            (up + grid[r][c] + down) / 3
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        grid = Arc::new(futures.into_iter().map(|f| f.touch()).collect());
+    }
+    Arc::try_unwrap(grid).unwrap_or_else(|g| (*g).clone())
+}
+
+/// A streaming pipeline with bounded backpressure: at most `window` item
+/// futures are in flight at once; when the window is full the oldest
+/// future is touched (FIFO — the Figure 5(a) order) before the next item
+/// is spawned. The runtime counterpart of
+/// [`crate::backpressure::batched_pipeline`].
+pub fn streaming_pipeline(rt: &Arc<Runtime>, items: usize, window: usize) -> Vec<u64> {
+    let window = window.max(1);
+    let mut inflight = std::collections::VecDeque::with_capacity(window);
+    let mut out = Vec::with_capacity(items);
+    for i in 0..items as u64 {
+        if inflight.len() == window {
+            let f: wsf_runtime::Future<u64> = inflight.pop_front().expect("window is non-empty");
+            out.push(f.touch());
+        }
+        inflight.push_back(rt.spawn_future(move || i * i + 1));
+    }
+    while let Some(f) = inflight.pop_front() {
+        out.push(f.touch());
+    }
+    out
+}
+
 /// A two-stage pipeline: a producer future computes a batch, a transformer
 /// future (which receives the producer's handle — the Figure 5(b) pattern)
 /// touches it and post-processes it, and the caller touches the
@@ -101,6 +190,52 @@ mod tests {
         for rt in runtimes() {
             let result = map_reduce(&rt, 16, |w| w as u64 * 10, |a, b| a + b);
             assert_eq!(result, Some((0..16u64).map(|w| w * 10).sum()));
+        }
+    }
+
+    #[test]
+    fn merge_sort_matches_std_sort() {
+        let data: Vec<u64> = (0..2_000u64).map(|i| (i * 7919) % 1_000).collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        for rt in runtimes() {
+            assert_eq!(merge_sort(&rt, data.clone(), 32), expected);
+        }
+    }
+
+    #[test]
+    fn stencil_matches_sequential_reference() {
+        let (rows, cols, steps) = (8usize, 16usize, 4usize);
+        // Sequential reference with the same update rule.
+        let mut reference: Vec<Vec<u64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| ((r * cols + c) % 97) as u64).collect())
+            .collect();
+        for _ in 0..steps {
+            reference = (0..rows)
+                .map(|r| {
+                    (0..cols)
+                        .map(|c| {
+                            let up = reference[r.saturating_sub(1)][c];
+                            let down = reference[(r + 1).min(rows - 1)][c];
+                            (up + reference[r][c] + down) / 3
+                        })
+                        .collect()
+                })
+                .collect();
+        }
+        for rt in runtimes() {
+            assert_eq!(stencil(&rt, rows, cols, steps), reference);
+        }
+    }
+
+    #[test]
+    fn streaming_pipeline_bounds_the_window_and_keeps_order() {
+        for rt in runtimes() {
+            for window in [1usize, 4, 100] {
+                let out = streaming_pipeline(&rt, 50, window);
+                let expected: Vec<u64> = (0..50u64).map(|i| i * i + 1).collect();
+                assert_eq!(out, expected, "window={window}");
+            }
         }
     }
 

@@ -1,0 +1,141 @@
+//! 2D stencil grids with boundary-exchange futures (Theorem 12 workload).
+//!
+//! A `rows × width` grid iterated for `steps` time steps as a one-sided
+//! wavefront sweep: each row is a future thread in a chain (row `r` forks
+//! row `r+1`), and at every step a row
+//!
+//! 1. updates its `width` interior blocks (the same physical blocks every
+//!    step — the temporal locality a stencil exists to exploit),
+//! 2. touches the boundary future its child row (the row below) published
+//!    for that step, and
+//! 3. publishes its own boundary for the step as a future value its parent
+//!    row touches.
+//!
+//! Every row thread is touched once per step by its *parent* row, so the
+//! computation is structured local-touch (Definition 3) — with `steps = 1`
+//! it collapses to single-touch. The symmetric both-neighbours exchange
+//! needs a value touched twice, which the model forbids; the real-runtime
+//! counterpart ([`crate::runtime_apps::stencil`]) does the full exchange
+//! with one future handle per (neighbour, step).
+//!
+//! Interior, boundary and output blocks come from one shared [`BlockAlloc`]
+//! so rows never alias each other (collision-checked in
+//! `crates/workloads/tests/block_collisions.rs`).
+
+use crate::block_alloc::BlockAlloc;
+use wsf_dag::{Dag, DagBuilder, NodeId, ThreadId};
+
+/// Builds the wavefront stencil DAG: `rows` row threads (row 0 is the main
+/// thread), `width` interior blocks per row, `steps` time steps.
+pub fn stencil(rows: usize, width: usize, steps: usize) -> Dag {
+    let rows = rows.max(1);
+    let width = width.max(1);
+    let steps = steps.max(1);
+    let mut alloc = BlockAlloc::new();
+    let interior: Vec<_> = (0..rows)
+        .map(|r| alloc.region(format!("row{r}/interior"), width))
+        .collect();
+    let boundary: Vec<_> = (1..rows)
+        .map(|r| alloc.region(format!("row{r}/boundary"), steps))
+        .collect();
+
+    let mut b = DagBuilder::with_capacity(rows * steps * (width + 2) + 4, rows);
+
+    // The chain of row threads: main is row 0, row r forks row r+1.
+    let mut threads = vec![ThreadId::MAIN];
+    for _ in 1..rows {
+        let parent = *threads.last().unwrap();
+        let f = b.fork(parent);
+        threads.push(f.future_thread);
+    }
+
+    // Build deepest row first so parents can touch published boundaries.
+    let mut published: Vec<Vec<NodeId>> = vec![Vec::new(); rows];
+    for r in (1..rows).rev() {
+        let thread = threads[r];
+        for s in 0..steps {
+            for w in 0..width {
+                let n = b.task(thread);
+                b.set_block(n, interior[r].block(w));
+            }
+            if r + 1 < rows {
+                b.touch(thread, published[r + 1][s]);
+            }
+            let value = b.task(thread);
+            b.set_block(value, boundary[r - 1].block(s));
+            published[r].push(value);
+        }
+    }
+
+    // Row 0 (the main thread) consumes row 1's boundaries step by step.
+    let main = ThreadId::MAIN;
+    let below: Vec<Option<NodeId>> = if rows > 1 {
+        published[1].iter().copied().map(Some).collect()
+    } else {
+        vec![None; steps]
+    };
+    for value in below {
+        for w in 0..width {
+            let n = b.task(main);
+            b.set_block(n, interior[0].block(w));
+        }
+        if let Some(value) = value {
+            b.touch(main, value);
+        }
+    }
+    b.task(main);
+    b.finish().expect("stencil builds a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsf_core::{ForkPolicy, ParallelSimulator, SimConfig};
+    use wsf_dag::classify;
+
+    #[test]
+    fn stencil_is_local_touch_not_single_touch() {
+        let dag = stencil(4, 3, 5);
+        let class = classify(&dag);
+        assert!(class.structured, "{:?}", class.violations);
+        assert!(class.local_touch, "{:?}", class.violations);
+        assert!(!class.single_touch, "rows are touched once per step");
+    }
+
+    #[test]
+    fn single_step_stencil_is_single_touch() {
+        let dag = stencil(5, 4, 1);
+        let class = classify(&dag);
+        assert!(class.is_structured_single_touch(), "{:?}", class.violations);
+        assert!(class.is_structured_local_touch());
+    }
+
+    #[test]
+    fn one_row_grid_is_a_serial_chain() {
+        let dag = stencil(1, 4, 3);
+        assert_eq!(dag.num_threads(), 1);
+        assert!(classify(&dag).fork_join);
+    }
+
+    #[test]
+    fn stencil_executes_under_both_policies() {
+        let dag = stencil(5, 3, 4);
+        for policy in ForkPolicy::ALL {
+            for p in [1usize, 4] {
+                let report = ParallelSimulator::new(SimConfig::new(p, 16, policy)).run(&dag);
+                assert!(report.completed, "{policy} P={p}");
+                assert_eq!(report.executed(), dag.num_nodes() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn interior_blocks_are_reused_across_steps() {
+        // The stencil's whole point: a row's interior footprint is `width`
+        // blocks regardless of the step count.
+        let a = stencil(3, 4, 2);
+        let b = stencil(3, 4, 8);
+        assert_eq!(a.num_blocks(), 4 * 3 + 2 * 2);
+        assert_eq!(b.num_blocks(), 4 * 3 + 2 * 8);
+    }
+}

@@ -1,0 +1,130 @@
+//! Block-id collision regression suite for the workload builders.
+//!
+//! The old `pipeline()` computed value-node block ids as
+//! `s*items*work + item` and work-node ids as
+//! `s*items*work + item*work + w`; for `work > 1` the two formulas overlap,
+//! so touched values aliased unrelated work blocks and every pipeline
+//! cache-miss table was silently skewed. These tests pin down the contract
+//! the shared `BlockAlloc` now guarantees for every builder in the
+//! Theorem-12 suite: each *intentional-locality role* (a stage's work
+//! chain, a value slot, a merge buffer, a row interior, ...) owns block ids
+//! no other role can produce.
+//!
+//! `pipeline`, `batched_pipeline` and both mergesort variants use every
+//! block id for exactly one node, so their check is the strongest one:
+//! every block in the DAG appears on exactly one node. The stencil reuses a
+//! row's interior blocks across time steps *on the same row* by design, so
+//! its check is role-disjointness: interior blocks and boundary (value)
+//! blocks never collide, and no two rows share a block.
+
+use std::collections::{HashMap, HashSet};
+use wsf_dag::Dag;
+use wsf_workloads::backpressure::batched_pipeline;
+use wsf_workloads::pipeline::pipeline;
+use wsf_workloads::sort::{mergesort, mergesort_streaming};
+use wsf_workloads::stencil::stencil;
+
+/// Asserts every block id in `dag` is used by exactly one node.
+fn assert_blocks_unique(name: &str, dag: &Dag) {
+    let mut seen = HashMap::new();
+    for id in dag.node_ids() {
+        if let Some(blk) = dag.block_of(id) {
+            if let Some(prev) = seen.insert(blk, id) {
+                panic!("{name}: block {blk} assigned to both {prev} and {id}");
+            }
+        }
+    }
+    assert!(!seen.is_empty(), "{name}: no blocks at all");
+}
+
+/// The set of blocks on touch-source (value) nodes.
+fn value_blocks(dag: &Dag) -> HashSet<wsf_dag::Block> {
+    dag.touches()
+        .filter_map(|x| dag.future_parent(x))
+        .filter_map(|v| dag.block_of(v))
+        .collect()
+}
+
+#[test]
+fn pipeline_blocks_are_collision_free() {
+    // The regression: with work > 1 the old formulas collided. Exercise
+    // several shapes including the original failing ones.
+    for (stages, items, work) in [(3, 4, 2), (2, 8, 3), (4, 6, 3), (1, 5, 4)] {
+        let dag = pipeline(stages, items, work);
+        assert_blocks_unique(&format!("pipeline({stages},{items},{work})"), &dag);
+    }
+}
+
+#[test]
+fn pipeline_value_blocks_disjoint_from_work_blocks() {
+    let dag = pipeline(3, 5, 3);
+    let values = value_blocks(&dag);
+    assert!(!values.is_empty());
+    for id in dag.node_ids() {
+        if dag.node(id).is_future_parent() {
+            continue;
+        }
+        if let Some(blk) = dag.block_of(id) {
+            assert!(
+                !values.contains(&blk),
+                "{id}: non-value node aliases value block {blk}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_pipeline_blocks_are_collision_free() {
+    for (stages, items, window, work) in [(3, 8, 4, 2), (2, 10, 3, 3), (3, 6, 1, 2)] {
+        let dag = batched_pipeline(stages, items, window, work);
+        assert_blocks_unique(
+            &format!("batched_pipeline({stages},{items},{window},{work})"),
+            &dag,
+        );
+    }
+}
+
+#[test]
+fn mergesort_blocks_are_collision_free() {
+    for (len, grain) in [(64, 8), (100, 7), (256, 16)] {
+        assert_blocks_unique(&format!("mergesort({len},{grain})"), &mergesort(len, grain));
+    }
+    for (len, grain, chunk) in [(64, 4, 8), (100, 8, 5)] {
+        assert_blocks_unique(
+            &format!("mergesort_streaming({len},{grain},{chunk})"),
+            &mergesort_streaming(len, grain, chunk),
+        );
+    }
+}
+
+#[test]
+fn stencil_roles_are_disjoint() {
+    let (rows, width, steps) = (4usize, 3usize, 5usize);
+    let dag = stencil(rows, width, steps);
+    let boundaries = value_blocks(&dag);
+    // Interior blocks (everything that is not a published boundary) must
+    // never alias a boundary block...
+    let mut interior_owner: HashMap<wsf_dag::Block, wsf_dag::ThreadId> = HashMap::new();
+    for id in dag.node_ids() {
+        let Some(blk) = dag.block_of(id) else {
+            continue;
+        };
+        if dag.node(id).is_future_parent() {
+            continue;
+        }
+        assert!(
+            !boundaries.contains(&blk),
+            "{id}: interior node aliases boundary block {blk}"
+        );
+        // ... and interior blocks are private to one row thread (reuse
+        // across steps within the row is the intended locality).
+        let owner = dag.node(id).thread();
+        if let Some(prev) = interior_owner.insert(blk, owner) {
+            assert_eq!(
+                prev, owner,
+                "block {blk} shared between rows {prev} and {owner}"
+            );
+        }
+    }
+    assert_eq!(dag.num_blocks(), rows * width + (rows - 1) * steps);
+}
