@@ -30,6 +30,16 @@ use crate::ids::ThreadId;
 ///    (for non-main threads) is in the parent thread and points at the
 ///    thread's first node with a future edge;
 /// 7. no child of a fork is a touch node.
+///
+/// # Errors
+///
+/// Returns the [`DagError`] for a violated invariant. When a DAG violates
+/// *several* invariants at once, which of them is reported is unspecified:
+/// the checks are fused into single passes for speed, so the reported
+/// error follows the fused per-node order, not the historical
+/// check-by-check order. Callers may rely on *an* error being returned for
+/// any invalid DAG (detection coverage is exhaustive), but must not match
+/// on which specific variant surfaces first for a multi-fault DAG.
 pub fn validate(dag: &Dag) -> Result<(), DagError> {
     validate_nodes(dag)?;
     validate_root_final(dag)?;
@@ -42,7 +52,11 @@ pub fn validate(dag: &Dag) -> Result<(), DagError> {
 /// of invariant 2 (unique root/final shape). This used to be three separate
 /// scans of the node array; at sweep sizes (10^5–10^6 nodes) the extra
 /// passes were a measurable share of DAG construction, and every check here
-/// is per-node, so fusing them changes no outcome.
+/// is per-node, so fusing them changes no outcome for valid DAGs and no
+/// detection coverage for invalid ones. It *does* change which error
+/// surfaces when one DAG has several violations (checks now interleave
+/// per node instead of running pass-by-pass) — see the caveat on
+/// [`validate`].
 fn validate_nodes(dag: &Dag) -> Result<(), DagError> {
     for id in dag.node_ids() {
         let n = dag.node(id);
