@@ -701,10 +701,36 @@ fn run_with_sched(
     run_with(dag, p, c, policy, Some(s.as_mut()))
 }
 
+/// Formats one Theorem-12 measurement as the standard columns: `P`, `T∞`,
+/// scheduler, deviations, the Theorem 12 deviation bound, extra misses, the
+/// Theorem 12 miss bound, steals and a bound verdict. Shared by E12–E15.
+fn thm12_columns(
+    seq: &SeqReport,
+    rep: &ExecutionReport,
+    sp: u64,
+    p: usize,
+    c: usize,
+    sched: SweepScheduler,
+) -> Vec<String> {
+    let dev_bound = bounds::thm12_deviations(p as u64, sp);
+    let miss_bound = bounds::thm12_additional_misses(c as u64, p as u64, sp);
+    let within = rep.deviations() <= dev_bound && rep.additional_misses(seq) <= miss_bound;
+    vec![
+        p.to_string(),
+        sp.to_string(),
+        sched.to_string(),
+        rep.deviations().to_string(),
+        dev_bound.to_string(),
+        rep.additional_misses(seq).to_string(),
+        miss_bound.to_string(),
+        rep.steals().to_string(),
+        if within { "yes" } else { "NO" }.to_string(),
+    ]
+}
+
 /// Runs one Theorem-12 suite cell under the given scheduler kind and
-/// returns the standard measurement columns: `P`, `T∞`, scheduler,
-/// deviations, the Theorem 12 deviation bound, extra misses, the Theorem 12
-/// miss bound, steals and a bound verdict. Shared by E12–E14.
+/// returns [`thm12_columns`] for it. Shared by E12–E14 (E15 computes the
+/// sequential baseline once per shard instead).
 fn thm12_row(
     dag: &Dag,
     sp: u64,
@@ -714,20 +740,7 @@ fn thm12_row(
     sched: SweepScheduler,
 ) -> Vec<String> {
     let (seq, rep) = run_with_sched(dag, p, c, policy, sched);
-    let dev_bound = bounds::thm12_deviations(p as u64, sp);
-    let miss_bound = bounds::thm12_additional_misses(c as u64, p as u64, sp);
-    let within = rep.deviations() <= dev_bound && rep.additional_misses(&seq) <= miss_bound;
-    vec![
-        p.to_string(),
-        sp.to_string(),
-        sched.to_string(),
-        rep.deviations().to_string(),
-        dev_bound.to_string(),
-        rep.additional_misses(&seq).to_string(),
-        miss_bound.to_string(),
-        rep.steals().to_string(),
-        if within { "yes" } else { "NO" }.to_string(),
-    ]
+    thm12_columns(&seq, &rep, sp, p, c, sched)
 }
 
 const THM12_COLUMNS: [&str; 9] = [
@@ -897,6 +910,101 @@ pub fn e14_backpressure(scale: Scale) -> Vec<Table> {
     vec![t]
 }
 
+/// E15 — large-capacity locality sweep: the Theorem-12 workload families at
+/// cache capacities from the paper's toy C = 16 up to 32K lines (the regime
+/// real cache-simulation frameworks model). The theorems are stated for
+/// arbitrary `C`; this sweep is only tractable because the cache models are
+/// O(1) per access at any capacity (see `wsf_cache`'s indexed
+/// representation — the seed scan models made every access O(C)).
+///
+/// One shard per `(family, C)` cell: the DAG is built once per shard, the
+/// sequential baseline once per `C`, and both are shared by every `(P,
+/// scheduler)` row. Sharded with [`par_map`], so the table is byte-identical
+/// at every thread count.
+pub fn e15_cache_capacity(scale: Scale) -> Vec<Table> {
+    let capacities = scale.pick(vec![16usize, 256], vec![16, 256, 4096, 32768]);
+    let procs = scale.pick(vec![2usize], vec![2, 8]);
+    let mut columns = vec!["family", "nodes", "blocks", "C"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        "E15 / Theorem 12 at scale — locality sweep over cache capacities C = 16 … 32768",
+        &columns,
+    );
+    // Full-scale sizes are chosen so the working sets straddle the swept
+    // capacities (the mergesort variants touch tens of thousands of blocks,
+    // comparable to C = 32768) — only tractable with O(1) cache models.
+    type Family = (&'static str, fn(Scale) -> Dag);
+    let families: [Family; 4] = [
+        ("mergesort", |s| {
+            sort::mergesort(s.pick(64, 65_536), s.pick(8, 64))
+        }),
+        ("mergesort-streaming", |s| {
+            let grain = s.pick(8, 64);
+            sort::mergesort_streaming(s.pick(64, 65_536), grain, 2 * grain)
+        }),
+        ("stencil", |s| {
+            let (rows, width, steps) = s.pick((3, 2, 3), (48, 128, 6));
+            stencil::stencil(rows, width, steps)
+        }),
+        ("pipeline-window4", |s| {
+            let (stages, items) = s.pick((2, 4), (8, 512));
+            backpressure::batched_pipeline(stages, items, 4, 3)
+        }),
+    ];
+    let mut cells = Vec::new();
+    for &family in &families {
+        for &c in &capacities {
+            cells.push((family, c));
+        }
+    }
+    let rows = par_map(cells, |((name, build), c)| {
+        let dag = build(scale);
+        let class = classify(&dag);
+        assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+        let sp = span(&dag);
+        // The sequential baseline depends on neither P nor the scheduler:
+        // compute it once per (family, C) shard; every run in the shard
+        // reuses it and one scratch.
+        let base = SimConfig {
+            cache_lines: c,
+            fork_policy: ForkPolicy::FutureFirst,
+            ..SimConfig::default()
+        };
+        let seq = ParallelSimulator::new(base).sequential(&dag);
+        let mut scratch = wsf_core::SimScratch::new();
+        let mut out = Vec::new();
+        for &p in &procs {
+            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+                let cfg = SimConfig {
+                    processors: p,
+                    ..base
+                };
+                let mut s = sched.instantiate(cfg.seed);
+                let rep = ParallelSimulator::new(cfg).run_with_scratch(
+                    &dag,
+                    &seq,
+                    s.as_mut(),
+                    false,
+                    &mut scratch,
+                );
+                let mut row = vec![
+                    name.to_string(),
+                    dag.num_nodes().to_string(),
+                    dag.block_space().to_string(),
+                    c.to_string(),
+                ];
+                row.extend(thm12_columns(&seq, &rep, sp, p, c, sched));
+                out.push(row);
+            }
+        }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
+}
+
 fn fib_reference(n: u64) -> u64 {
     let (mut a, mut b) = (0u64, 1u64);
     for _ in 0..n {
@@ -924,6 +1032,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e12_dnc_sort(scale));
     tables.extend(e13_stencil(scale));
     tables.extend(e14_backpressure(scale));
+    tables.extend(e15_cache_capacity(scale));
     tables
 }
 
@@ -959,6 +1068,11 @@ pub fn registry() -> Vec<Experiment> {
             "Theorems 10/12 bounded-backpressure pipelines",
             e14_backpressure,
         ),
+        (
+            "e15",
+            "large-capacity locality sweep (C = 16 … 32768)",
+            e15_cache_capacity,
+        ),
     ]
 }
 
@@ -988,19 +1102,25 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 14);
+        assert_eq!(reg.len(), 15);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
     }
 
     #[test]
     fn thm12_suite_tables_respect_their_bounds() {
         // The acceptance contract of the Theorem-12 workload suite: every
-        // E12–E14 row reports "yes" in its bound-verdict column, for both
-        // the random-WS and the parsimonious scheduler.
-        for runner in [e12_dnc_sort, e13_stencil, e14_backpressure] {
+        // E12–E15 row reports "yes" in its bound-verdict column, for both
+        // the random-WS and the parsimonious scheduler — E15 extends the
+        // check across the large-capacity cache sweep.
+        for runner in [
+            e12_dnc_sort,
+            e13_stencil,
+            e14_backpressure,
+            e15_cache_capacity,
+        ] {
             for table in runner(Scale::Quick) {
                 assert!(!table.is_empty(), "{}", table.title);
                 for row in &table.rows {

@@ -45,10 +45,11 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
     assert_eq!(sequential, oversubscribed);
 
     // The sharded experiments (E1, E5, E6, E8, E9 and the Theorem-12 suite
-    // E12–E14) re-assemble their rows in input order; their rendered tables
-    // must not depend on threads. For E12–E14 this is the issue's
+    // E12–E15) re-assemble their rows in input order; their rendered tables
+    // must not depend on threads. For E12–E15 this is the issues'
     // acceptance contract: the measured workload tables are byte-identical
-    // at every `--threads` setting.
+    // at every `--threads` setting (E15 additionally exercises the
+    // large-capacity indexed cache models).
     let runners: Vec<fn(Scale) -> Vec<wsf_analysis::Table>> = vec![
         experiments::e1_thm8_upper,
         experiments::e5_local_touch,
@@ -58,6 +59,7 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
         experiments::e12_dnc_sort,
         experiments::e13_stencil,
         experiments::e14_backpressure,
+        experiments::e15_cache_capacity,
     ];
     for runner in runners {
         set_threads(1);

@@ -1,6 +1,6 @@
-//! Measures the three hot paths of ISSUE 2 (simulator steps/sec, analysis
-//! sweep wall-clock, runtime injector latency) and prints one JSON object,
-//! the raw material of `BENCH_simulator.json`.
+//! Measures the hot paths of ISSUEs 2 and 4 (simulator steps/sec, analysis
+//! sweep wall-clock, runtime injector latency, cache-model per-access cost)
+//! and prints one JSON object, the raw material of `BENCH_simulator.json`.
 //!
 //! ```text
 //! cargo run --release -p wsf-bench --bin bench_json
@@ -10,6 +10,8 @@
 
 use std::time::Instant;
 use wsf_analysis::{seed_sweep_cells, set_threads, SweepConfig};
+use wsf_bench::cache_bench::{drive, trace as cache_trace, warmed};
+use wsf_cache::LruCache;
 use wsf_core::{ParallelSimulator, RandomScheduler, SimConfig, SimScratch};
 use wsf_deque::Injector;
 use wsf_workloads::random::{random_single_touch, RandomConfig};
@@ -95,6 +97,13 @@ fn injector_secs(ops: usize) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Median ns/access over `trace` against the warm `cache`, `samples` timed
+/// repetitions after one warm-up pass.
+fn cache_ns_per_access(samples: usize, trace: &[u32], cache: &mut LruCache) -> f64 {
+    let secs = time_median(samples, || drive(cache, trace));
+    secs * 1e9 / trace.len() as f64
+}
+
 fn main() {
     let smoke = std::env::var("WSF_BENCH_SMOKE").is_ok();
     let nodes = if smoke { 20_000 } else { 100_000 };
@@ -148,6 +157,27 @@ fn main() {
     let injector_mutex_secs = time_median(samples, || mutex_queue_secs(ops));
     let injector_lockfree_secs = time_median(samples, || injector_secs(ops));
 
+    // --- cache models: seed O(C) scan LRU vs indexed O(1) LRU ---
+    // The scan trace shrinks with C (each access costs O(C) there); per-
+    // access times stay comparable. The dense row is what the simulators
+    // actually use (workload block spaces are dense).
+    let cache_caps = [16usize, 1_024, 32_768];
+    let mut cache_rows = Vec::new();
+    for &cap in &cache_caps {
+        let long = if smoke { 8_192 } else { 65_536 };
+        let short = (long / (cap / 16).max(1)).max(1_024);
+        let long_trace = cache_trace(cap, long);
+        let short_trace = cache_trace(cap, short);
+        let scan = cache_ns_per_access(samples, &short_trace, &mut warmed(LruCache::scan(cap)));
+        let hash = cache_ns_per_access(samples, &long_trace, &mut warmed(LruCache::indexed(cap)));
+        let dense = cache_ns_per_access(
+            samples,
+            &long_trace,
+            &mut warmed(LruCache::indexed_dense(cap, 2 * cap)),
+        );
+        cache_rows.push((cap, scan, hash, dense));
+    }
+
     let per_op = |secs: f64| secs * 1e9 / (2.0 * ops as f64);
     println!("{{");
     println!("  \"nodes\": {nodes},");
@@ -169,8 +199,16 @@ fn main() {
     );
     println!("  \"injector_lockfree_mpmc_secs\": {injector_lockfree_secs:.4},");
     println!(
-        "  \"injector_lockfree_ns_per_op\": {:.1}",
+        "  \"injector_lockfree_ns_per_op\": {:.1},",
         per_op(injector_lockfree_secs)
     );
+    for (i, (cap, scan, hash, dense)) in cache_rows.iter().enumerate() {
+        let sep = if i + 1 == cache_rows.len() { "" } else { "," };
+        println!(
+            "  \"cache_c{cap}\": {{ \"scan_lru_ns_per_access\": {scan:.1}, \
+             \"indexed_lru_hash_ns_per_access\": {hash:.1}, \
+             \"indexed_lru_dense_ns_per_access\": {dense:.1} }}{sep}"
+        );
+    }
     println!("}}");
 }

@@ -32,6 +32,53 @@ pub mod sizes {
     pub const FIB_N: usize = 12;
 }
 
+/// Shared workload of the cache-model measurements: one definition feeds
+/// both the `cache_model` criterion bench and `bench_json`'s `cache_*`
+/// rows, so the two always measure the same protocol.
+pub mod cache_bench {
+    use wsf_cache::Cache;
+
+    /// A deterministic xorshift64* trace of `len` accesses over a block
+    /// space of `2 * c` blocks: against a full cache of `c` lines, roughly
+    /// half the accesses hit and misses keep evicting, exercising both the
+    /// position scan and the front-removal shift of the seed
+    /// representation.
+    pub fn trace(c: usize, len: usize) -> Vec<u32> {
+        let space = (2 * c) as u64;
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        (0..len)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) % space) as u32
+            })
+            .collect()
+    }
+
+    /// Fills `cache` to capacity so timed accesses measure the steady-state
+    /// (full-cache) cost — the scan representation's per-access cost is
+    /// O(occupancy), so an under-filled large cache would flatter it.
+    pub fn warmed<C: Cache>(mut cache: C) -> C {
+        for b in 0..cache.capacity() as u32 {
+            cache.access(b);
+        }
+        cache
+    }
+
+    /// Drives `trace` through `cache` and returns the miss count (returned
+    /// so the access loop cannot be optimized away).
+    pub fn drive<C: Cache>(cache: &mut C, trace: &[u32]) -> u64 {
+        let mut misses = 0;
+        for &b in trace {
+            if cache.access(b).is_miss() {
+                misses += 1;
+            }
+        }
+        misses
+    }
+}
+
 /// Runs `dag` on the simulator and returns the sequential baseline and the
 /// parallel report, using the supplied scheduler if any.
 pub fn simulate(

@@ -1,47 +1,34 @@
 //! Fully associative LRU cache — the paper's cache model.
 
-use crate::{AccessOutcome, BlockId, Cache};
+use crate::adaptive::{Adaptive, ScanRepr};
+use crate::{AccessOutcome, BlockId, Cache, ResidentIter};
 
-/// A fully associative cache of `capacity` lines with least-recently-used
-/// replacement.
+/// The seed scan representation: resident blocks ordered from least
+/// recently used (front) to most recently used (back).
 ///
-/// The recency order is kept in a vector with the most recently used block
-/// at the back. Capacities in the paper's experiments are small (tens of
-/// lines), so the O(C) shift per access is faster in practice than a linked
-/// structure and keeps the implementation obviously correct.
+/// Capacities in the paper's experiments are small (tens of lines), and
+/// below [`SCAN_CROSSOVER`] the O(C) position-scan plus shift is measurably
+/// faster in practice than any linked structure — the whole vector is a
+/// couple of cache lines. Above the crossover it degrades quadratically
+/// with the working set, which is what the indexed representation fixes.
 #[derive(Clone, Debug)]
-pub struct LruCache {
-    /// Resident blocks ordered from least recently used (front) to most
-    /// recently used (back).
+pub(crate) struct ScanLru {
     order: Vec<BlockId>,
     capacity: usize,
 }
 
-impl LruCache {
-    /// Creates an empty cache with `capacity` lines.
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
+impl ScanRepr for ScanLru {
+    const MOVE_ON_HIT: bool = true;
+
+    fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        LruCache {
+        ScanLru {
             order: Vec::with_capacity(capacity),
             capacity,
         }
     }
 
-    /// The least recently used resident block, if any.
-    pub fn lru_block(&self) -> Option<BlockId> {
-        self.order.first().copied()
-    }
-
-    /// The most recently used resident block, if any.
-    pub fn mru_block(&self) -> Option<BlockId> {
-        self.order.last().copied()
-    }
-}
-
-impl Cache for LruCache {
+    #[inline]
     fn access(&mut self, block: BlockId) -> AccessOutcome {
         if let Some(pos) = self.order.iter().position(|&b| b == block) {
             self.order.remove(pos);
@@ -73,14 +60,160 @@ impl Cache for LruCache {
         self.order.clear();
     }
 
-    fn resident_blocks(&self) -> Vec<BlockId> {
-        self.order.clone()
+    fn iter(&self) -> ResidentIter<'_> {
+        ResidentIter::slice(&self.order)
+    }
+
+    fn front(&self) -> Option<BlockId> {
+        self.order.first().copied()
+    }
+
+    fn back(&self) -> Option<BlockId> {
+        self.order.last().copied()
+    }
+}
+
+/// A fully associative cache of `capacity` lines with least-recently-used
+/// replacement.
+///
+/// The representation is capacity-adaptive (see [`crate::adaptive`]): at or
+/// below [`SCAN_CROSSOVER`] lines the recency order is a plain vector
+/// scanned per access (fastest at the paper's C = 16), above it an indexed
+/// slot arena with an intrusive recency list and a block→slot map gives
+/// O(1) amortized access and eviction at any capacity. Both representations
+/// produce access-for-access identical [`AccessOutcome`] sequences (LRU is
+/// deterministic), which the differential suite in
+/// `crates/cache/tests/differential.rs` locks in.
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    repr: Adaptive<ScanLru>,
+}
+
+impl LruCache {
+    /// Creates an empty cache with `capacity` lines, picking the
+    /// representation by capacity (scan at or below [`SCAN_CROSSOVER`],
+    /// hash-indexed above).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            repr: Adaptive::new(capacity),
+        }
+    }
+
+    /// Like [`LruCache::new`], but workloads with a dense block range
+    /// `0..block_space` (everything built on `BlockAlloc`) get the
+    /// direct-mapped index instead of the hash map when the indexed
+    /// representation is selected. (Disproportionate spaces fall back to
+    /// hashing — see [`LruCache::indexed_dense`].)
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_block_hint(capacity: usize, block_space: usize) -> Self {
+        LruCache {
+            repr: Adaptive::with_block_hint(capacity, block_space),
+        }
+    }
+
+    /// Forces the seed scan representation at any capacity (the benchmark
+    /// baseline and the differential-test reference).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn scan(capacity: usize) -> Self {
+        LruCache {
+            repr: Adaptive::scan(capacity),
+        }
+    }
+
+    /// Forces the indexed representation with a hash block index.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn indexed(capacity: usize) -> Self {
+        LruCache {
+            repr: Adaptive::indexed(capacity),
+        }
+    }
+
+    /// Forces the indexed representation with a direct-mapped index
+    /// pre-sized for blocks in `0..block_space`. Blocks outside the range
+    /// stay correct: the index grows on demand, and sentinel-high outliers
+    /// (or an absurdly large declared space) switch it to the hash index
+    /// instead of paying O(largest id) memory.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn indexed_dense(capacity: usize, block_space: usize) -> Self {
+        LruCache {
+            repr: Adaptive::indexed_dense(capacity, block_space),
+        }
+    }
+
+    /// Indexed representation whose dense index keys blocks by
+    /// `block / stride` — used by the set-associative cache, where one set
+    /// only ever sees blocks congruent to its own index.
+    pub(crate) fn indexed_dense_strided(capacity: usize, block_space: usize, stride: u32) -> Self {
+        LruCache {
+            repr: Adaptive::indexed_dense_strided(capacity, block_space, stride),
+        }
+    }
+
+    /// Whether this cache uses the indexed (O(1)) representation.
+    pub fn is_indexed(&self) -> bool {
+        self.repr.is_indexed()
+    }
+
+    /// The least recently used resident block, if any.
+    pub fn lru_block(&self) -> Option<BlockId> {
+        self.repr.front_block()
+    }
+
+    /// The most recently used resident block, if any.
+    pub fn mru_block(&self) -> Option<BlockId> {
+        self.repr.back_block()
+    }
+
+    /// Borrowing iterator over the resident blocks in recency order (least
+    /// recently used first).
+    pub fn resident_iter(&self) -> ResidentIter<'_> {
+        self.repr.resident_iter()
+    }
+}
+
+impl Cache for LruCache {
+    #[inline]
+    fn access(&mut self, block: BlockId) -> AccessOutcome {
+        self.repr.access(block)
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.repr.contains(block)
+    }
+
+    fn capacity(&self) -> usize {
+        self.repr.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.repr.len()
+    }
+
+    fn clear(&mut self) {
+        self.repr.clear()
+    }
+
+    fn resident_into(&self, out: &mut Vec<BlockId>) {
+        out.clear();
+        out.extend(self.resident_iter());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SCAN_CROSSOVER;
 
     #[test]
     #[should_panic(expected = "capacity must be positive")]
@@ -89,34 +222,65 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics_indexed() {
+        let _ = LruCache::indexed(0);
+    }
+
+    #[test]
+    fn representation_is_capacity_adaptive() {
+        assert!(!LruCache::new(SCAN_CROSSOVER).is_indexed());
+        assert!(LruCache::new(SCAN_CROSSOVER + 1).is_indexed());
+        assert!(!LruCache::with_block_hint(16, 1 << 20).is_indexed());
+        assert!(LruCache::with_block_hint(4096, 64).is_indexed());
+        assert!(!LruCache::scan(4096).is_indexed());
+    }
+
+    #[test]
+    fn sentinel_high_block_hints_construct_cheaply() {
+        // map_reduce declares a block space of u32::MAX (its accumulator
+        // block is a sentinel-high id); the hint must not allocate O(id).
+        let mut c = LruCache::with_block_hint(256, u32::MAX as usize);
+        assert!(c.is_indexed());
+        assert!(c.access(u32::MAX - 1).is_miss());
+        assert!(c.access(u32::MAX - 1).is_hit());
+    }
+
+    #[test]
     fn evicts_least_recently_used() {
-        let mut c = LruCache::new(3);
-        c.access(1);
-        c.access(2);
-        c.access(3);
-        // touch 1 so that 2 becomes LRU
-        assert!(c.access(1).is_hit());
-        let out = c.access(4);
-        assert_eq!(out.evicted(), Some(2));
-        assert!(c.contains(1));
-        assert!(c.contains(3));
-        assert!(c.contains(4));
-        assert!(!c.contains(2));
+        for mut c in [
+            LruCache::scan(3),
+            LruCache::indexed(3),
+            LruCache::indexed_dense(3, 8),
+        ] {
+            c.access(1);
+            c.access(2);
+            c.access(3);
+            // touch 1 so that 2 becomes LRU
+            assert!(c.access(1).is_hit());
+            let out = c.access(4);
+            assert_eq!(out.evicted(), Some(2));
+            assert!(c.contains(1));
+            assert!(c.contains(3));
+            assert!(c.contains(4));
+            assert!(!c.contains(2));
+        }
     }
 
     #[test]
     fn lru_and_mru_tracking() {
-        let mut c = LruCache::new(3);
-        assert_eq!(c.lru_block(), None);
-        assert_eq!(c.mru_block(), None);
-        c.access(5);
-        c.access(6);
-        c.access(7);
-        assert_eq!(c.lru_block(), Some(5));
-        assert_eq!(c.mru_block(), Some(7));
-        c.access(5);
-        assert_eq!(c.lru_block(), Some(6));
-        assert_eq!(c.mru_block(), Some(5));
+        for mut c in [LruCache::scan(3), LruCache::indexed(3)] {
+            assert_eq!(c.lru_block(), None);
+            assert_eq!(c.mru_block(), None);
+            c.access(5);
+            c.access(6);
+            c.access(7);
+            assert_eq!(c.lru_block(), Some(5));
+            assert_eq!(c.mru_block(), Some(7));
+            c.access(5);
+            assert_eq!(c.lru_block(), Some(6));
+            assert_eq!(c.mru_block(), Some(5));
+        }
     }
 
     #[test]
@@ -124,41 +288,75 @@ mod tests {
         // The classic LRU pathology exploited by the paper's lower-bound
         // constructions: cyclically accessing C+1 blocks misses every time.
         let c_lines = 8;
-        let mut c = LruCache::new(c_lines);
-        let mut misses = 0;
-        for round in 0..10 {
-            for b in 0..=(c_lines as BlockId) {
-                if c.access(b).is_miss() {
-                    misses += 1;
+        for mut c in [LruCache::scan(c_lines), LruCache::indexed(c_lines)] {
+            let mut misses = 0;
+            for round in 0..10 {
+                for b in 0..=(c_lines as BlockId) {
+                    if c.access(b).is_miss() {
+                        misses += 1;
+                    }
                 }
+                assert_eq!(misses, (round + 1) * (c_lines as u64 + 1));
             }
-            assert_eq!(misses, (round + 1) * (c_lines as u64 + 1));
         }
     }
 
     #[test]
     fn working_set_within_capacity_only_cold_misses() {
-        let mut c = LruCache::new(8);
-        let mut misses = 0;
-        for _ in 0..5 {
-            for b in 0..8 {
+        for mut c in [LruCache::scan(8), LruCache::indexed_dense(8, 8)] {
+            let mut misses = 0;
+            for _ in 0..5 {
+                for b in 0..8 {
+                    if c.access(b).is_miss() {
+                        misses += 1;
+                    }
+                }
+            }
+            assert_eq!(misses, 8, "only compulsory misses");
+        }
+    }
+
+    #[test]
+    fn resident_blocks_reports_in_recency_order() {
+        for mut c in [LruCache::scan(4), LruCache::indexed(4)] {
+            for b in [1, 2, 3] {
+                c.access(b);
+            }
+            c.access(2);
+            assert_eq!(c.resident_blocks(), vec![1, 3, 2]);
+            assert_eq!(c.resident_iter().collect::<Vec<_>>(), vec![1, 3, 2]);
+            assert_eq!(c.len(), 3);
+            assert_eq!(c.capacity(), 4);
+        }
+    }
+
+    #[test]
+    fn clear_resets_both_representations() {
+        for mut c in [LruCache::scan(4), LruCache::indexed(4)] {
+            c.access(1);
+            c.access(2);
+            c.clear();
+            assert!(c.is_empty());
+            assert!(!c.contains(1));
+            assert_eq!(c.lru_block(), None);
+            assert!(c.access(1).is_miss());
+        }
+    }
+
+    #[test]
+    fn large_capacity_indexed_lru_holds_the_working_set() {
+        let capacity = 5_000;
+        let mut c = LruCache::new(capacity);
+        assert!(c.is_indexed());
+        let mut misses = 0u64;
+        for _ in 0..3 {
+            for b in 0..capacity as BlockId {
                 if c.access(b).is_miss() {
                     misses += 1;
                 }
             }
         }
-        assert_eq!(misses, 8, "only compulsory misses");
-    }
-
-    #[test]
-    fn resident_blocks_reports_in_recency_order() {
-        let mut c = LruCache::new(4);
-        for b in [1, 2, 3] {
-            c.access(b);
-        }
-        c.access(2);
-        assert_eq!(c.resident_blocks(), vec![1, 3, 2]);
-        assert_eq!(c.len(), 3);
-        assert_eq!(c.capacity(), 4);
+        assert_eq!(misses, capacity as u64, "only compulsory misses");
+        assert_eq!(c.len(), capacity);
     }
 }

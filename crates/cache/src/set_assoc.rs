@@ -4,8 +4,17 @@
 //! The paper inherits its miss bound from Acar et al., whose argument also
 //! covers set-associative caches; this implementation lets the experiments
 //! confirm that the measured trends survive limited associativity.
+//!
+//! Each set is an independent [`LruCache`] and therefore inherits the
+//! capacity-adaptive representation: a cache with thousands of ways per set
+//! runs on the indexed O(1) arena, the common few-way sets stay on the scan
+//! vector. With a declared dense block range
+//! ([`SetAssociativeCache::with_block_hint`]) each set's index is
+//! direct-mapped on `block / sets` — a set only ever sees blocks congruent
+//! to its own index, so the quotient is a dense per-set key and the index
+//! memory stays `O(block space)` overall instead of per set.
 
-use crate::{AccessOutcome, BlockId, Cache, LruCache};
+use crate::{AccessOutcome, BlockId, Cache, LruCache, SCAN_CROSSOVER};
 
 /// A set-associative cache: `sets` independent LRU sets of `ways` lines
 /// each. A block maps to set `block % sets`.
@@ -24,6 +33,28 @@ impl SetAssociativeCache {
         assert!(ways > 0, "cache capacity must be positive");
         SetAssociativeCache {
             sets: (0..sets).map(|_| LruCache::new(ways)).collect(),
+        }
+    }
+
+    /// Like [`SetAssociativeCache::new`], but workloads with a dense block
+    /// range `0..block_space` get direct-mapped per-set indexes when the
+    /// ways count selects the indexed representation.
+    ///
+    /// # Panics
+    /// Panics if either `sets` or `ways` is zero.
+    pub fn with_block_hint(sets: usize, ways: usize, block_space: usize) -> Self {
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(ways > 0, "cache capacity must be positive");
+        SetAssociativeCache {
+            sets: (0..sets)
+                .map(|_| {
+                    if ways <= SCAN_CROSSOVER {
+                        LruCache::scan(ways)
+                    } else {
+                        LruCache::indexed_dense_strided(ways, block_space, sets as u32)
+                    }
+                })
+                .collect(),
         }
     }
 
@@ -64,8 +95,11 @@ impl Cache for SetAssociativeCache {
         self.sets.iter_mut().for_each(|s| s.clear());
     }
 
-    fn resident_blocks(&self) -> Vec<BlockId> {
-        self.sets.iter().flat_map(|s| s.resident_blocks()).collect()
+    fn resident_into(&self, out: &mut Vec<BlockId>) {
+        out.clear();
+        for set in &self.sets {
+            out.extend(set.resident_iter());
+        }
     }
 }
 
@@ -122,5 +156,34 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert!(c.resident_blocks().is_empty());
+    }
+
+    #[test]
+    fn wide_sets_use_the_indexed_representation() {
+        let ways = SCAN_CROSSOVER * 2;
+        let sets = 4;
+        let plain = SetAssociativeCache::new(sets, ways);
+        let hinted = SetAssociativeCache::with_block_hint(sets, ways, sets * ways * 2);
+        assert!(plain.sets.iter().all(LruCache::is_indexed));
+        assert!(hinted.sets.iter().all(LruCache::is_indexed));
+        // Identical behavior regardless of index flavor.
+        let mut plain = plain;
+        let mut hinted = hinted;
+        for round in 0..3u32 {
+            for b in 0..(sets * ways + 64) as BlockId {
+                let b = b.wrapping_mul(2_654_435_761) % (2 * (sets * ways) as u32);
+                assert_eq!(plain.access(b), hinted.access(b), "round {round} block {b}");
+            }
+        }
+        assert_eq!(plain.len(), hinted.len());
+    }
+
+    #[test]
+    fn hinted_small_ways_behave_identically_to_plain() {
+        let mut a = SetAssociativeCache::new(4, 2);
+        let mut b = SetAssociativeCache::with_block_hint(4, 2, 64);
+        for block in (0..200u32).map(|i| i * 7 % 40) {
+            assert_eq!(a.access(block), b.access(block));
+        }
     }
 }

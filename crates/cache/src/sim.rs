@@ -25,9 +25,37 @@ enum Inner {
     SetAssoc(SetAssociativeCache),
 }
 
+/// Dispatches a method call to the concrete cache behind [`Inner`].
+///
+/// This used to go through `&mut dyn Cache`, which put a virtual call on
+/// the simulator's per-step path; the macro keeps the three-way `match`
+/// in every method body instead, so each arm calls the concrete type's
+/// method directly and inlines.
+macro_rules! on_cache {
+    ($self:expr, $cache:ident => $body:expr) => {
+        match &$self.inner {
+            Inner::Lru($cache) => $body,
+            Inner::Fifo($cache) => $body,
+            Inner::SetAssoc($cache) => $body,
+        }
+    };
+    (mut $self:expr, $cache:ident => $body:expr) => {
+        match &mut $self.inner {
+            Inner::Lru($cache) => $body,
+            Inner::Fifo($cache) => $body,
+            Inner::SetAssoc($cache) => $body,
+        }
+    };
+}
+
 /// A simulated processor cache: a replacement policy plus hit/miss/silent
 /// accounting. This is the object the execution simulator attaches to each
 /// simulated processor.
+///
+/// The underlying cache is capacity-adaptive (see the crate docs): give the
+/// constructor a dense-block-range hint with [`CacheSim::with_block_hint`]
+/// to get the direct-mapped index at large capacities — the execution
+/// simulators pass the DAG's block space automatically.
 pub struct CacheSim {
     inner: Inner,
     stats: CacheStats,
@@ -58,25 +86,40 @@ impl CacheSim {
         }
     }
 
-    fn cache_mut(&mut self) -> &mut dyn Cache {
-        match &mut self.inner {
-            Inner::Lru(c) => c,
-            Inner::Fifo(c) => c,
-            Inner::SetAssoc(c) => c,
-        }
-    }
-
-    fn cache(&self) -> &dyn Cache {
-        match &self.inner {
-            Inner::Lru(c) => c,
-            Inner::Fifo(c) => c,
-            Inner::SetAssoc(c) => c,
+    /// Like [`CacheSim::new`], for workloads whose blocks densely cover
+    /// `0..block_space`: capacities above the scan crossover get the
+    /// direct-mapped block index instead of the hash map. Behavior is
+    /// identical either way; only the lookup cost differs.
+    ///
+    /// # Panics
+    /// Same conditions as [`CacheSim::new`].
+    pub fn with_block_hint(policy: CachePolicy, lines: usize, block_space: usize) -> Self {
+        assert!(lines > 0, "cache capacity must be positive");
+        let inner = match policy {
+            CachePolicy::Lru => Inner::Lru(LruCache::with_block_hint(lines, block_space)),
+            CachePolicy::Fifo => Inner::Fifo(FifoCache::with_block_hint(lines, block_space)),
+            CachePolicy::SetAssociative { sets } => {
+                assert!(
+                    sets > 0 && lines.is_multiple_of(sets),
+                    "set count must divide the number of lines"
+                );
+                Inner::SetAssoc(SetAssociativeCache::with_block_hint(
+                    sets,
+                    lines / sets,
+                    block_space,
+                ))
+            }
+        };
+        CacheSim {
+            inner,
+            stats: CacheStats::default(),
         }
     }
 
     /// Accesses `block`, updating the statistics.
+    #[inline]
     pub fn access(&mut self, block: BlockId) -> AccessOutcome {
-        let outcome = self.cache_mut().access(block);
+        let outcome = on_cache!(mut self, c => c.access(block));
         if outcome.is_hit() {
             self.stats.hits += 1;
         } else {
@@ -86,12 +129,14 @@ impl CacheSim {
     }
 
     /// Records an instruction that performs no memory access.
+    #[inline]
     pub fn access_none(&mut self) {
         self.stats.silent += 1;
     }
 
     /// Accesses `block` if it is `Some`, otherwise records a silent
     /// instruction. Returns the outcome for real accesses.
+    #[inline]
     pub fn access_opt(&mut self, block: Option<BlockId>) -> Option<AccessOutcome> {
         match block {
             Some(b) => Some(self.access(b)),
@@ -114,25 +159,36 @@ impl CacheSim {
 
     /// Whether `block` is resident.
     pub fn contains(&self, block: BlockId) -> bool {
-        self.cache().contains(block)
+        on_cache!(self, c => c.contains(block))
     }
 
     /// The cache capacity in lines.
     pub fn capacity(&self) -> usize {
-        self.cache().capacity()
+        on_cache!(self, c => c.capacity())
+    }
+
+    /// Replaces the contents of `out` with the resident blocks (the
+    /// borrowing form of [`CacheSim::resident_blocks`]).
+    pub fn resident_into(&self, out: &mut Vec<BlockId>) {
+        on_cache!(self, c => c.resident_into(out));
     }
 
     /// The resident blocks.
     pub fn resident_blocks(&self) -> Vec<BlockId> {
-        self.cache().resident_blocks()
+        on_cache!(self, c => c.resident_blocks())
     }
 
     /// Empties the cache but keeps the statistics.
     pub fn flush(&mut self) {
-        self.cache_mut().clear();
+        on_cache!(mut self, c => c.clear());
     }
 
     /// Empties the cache and resets the statistics.
+    ///
+    /// O(1) for every representation (the indexed caches clear by bumping
+    /// an index generation), and never releases storage — a
+    /// `wsf_core::SimScratch` resetting its processors between runs reuses
+    /// the arena and index buffers as-is.
     pub fn reset(&mut self) {
         self.flush();
         self.stats = CacheStats::default();
@@ -185,12 +241,21 @@ mod tests {
         }
         assert_eq!(sim.stats().misses, 4);
         assert_eq!(sim.resident_blocks().len(), 4);
+        let mut buf = Vec::new();
+        sim.resident_into(&mut buf);
+        assert_eq!(buf.len(), 4);
     }
 
     #[test]
     #[should_panic(expected = "set count must divide")]
     fn bad_set_count_panics() {
         let _ = CacheSim::new(CachePolicy::SetAssociative { sets: 3 }, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "set count must divide")]
+    fn bad_set_count_panics_with_hint() {
+        let _ = CacheSim::with_block_hint(CachePolicy::SetAssociative { sets: 3 }, 4, 100);
     }
 
     #[test]
@@ -202,6 +267,24 @@ mod tests {
         assert_eq!(sim.stats().misses, 1, "flush keeps stats");
         sim.reset();
         assert_eq!(sim.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn block_hint_matches_plain_behavior_at_large_capacity() {
+        for policy in [
+            CachePolicy::Lru,
+            CachePolicy::Fifo,
+            CachePolicy::SetAssociative { sets: 4 },
+        ] {
+            let lines = 256;
+            let mut plain = CacheSim::new(policy, lines);
+            let mut hinted = CacheSim::with_block_hint(policy, lines, 512);
+            for i in 0..4_000u32 {
+                let b = i.wrapping_mul(2_654_435_761) % 512;
+                assert_eq!(plain.access(b), hinted.access(b), "{policy:?} access {i}");
+            }
+            assert_eq!(plain.stats(), hinted.stats());
+        }
     }
 
     #[test]

@@ -109,7 +109,12 @@ impl ParallelSimulator {
         scratch: &mut SimScratch,
     ) -> ExecutionReport {
         let p_count = self.config.processors.max(1);
-        scratch.reset_procs(p_count, self.config.cache_policy, self.config.cache_lines);
+        scratch.reset_procs(
+            p_count,
+            self.config.cache_policy,
+            self.config.cache_lines,
+            dag.block_space(),
+        );
         seq.predecessors_into(&mut scratch.seq_prev);
         scratch.tracker.reset(dag);
         let SimScratch {

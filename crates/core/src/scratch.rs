@@ -127,14 +127,30 @@ impl SimScratch {
     /// Prepares the per-processor state for a run with `p_count` processors
     /// and the given cache configuration, reusing existing storage when the
     /// configuration matches.
-    pub(crate) fn reset_procs(&mut self, p_count: usize, policy: CachePolicy, lines: usize) {
+    ///
+    /// `block_space` is the DAG's dense block range (see
+    /// `wsf_dag::Dag::block_space`): it seeds the direct-mapped block→slot
+    /// index of large-capacity caches. It is a pre-sizing hint only — the
+    /// caches stay correct for any block id — so a scratch built for one
+    /// DAG is reused as-is for another with the same `(policy, lines)`; the
+    /// per-run [`wsf_cache::CacheSim::reset`] is O(1) (a generation bump)
+    /// and keeps the arena and index buffers allocated, preserving the
+    /// allocation-free steady state that `crates/core/tests/alloc_free.rs`
+    /// locks in.
+    pub(crate) fn reset_procs(
+        &mut self,
+        p_count: usize,
+        policy: CachePolicy,
+        lines: usize,
+        block_space: usize,
+    ) {
         if self.cache_config != Some((policy, lines)) || self.procs.len() != p_count {
             self.procs.clear();
             self.procs.extend((0..p_count).map(|_| Proc {
                 deque: SimDeque::new(),
                 current: None,
                 last_completed: None,
-                cache: CacheSim::new(policy, lines),
+                cache: CacheSim::with_block_hint(policy, lines, block_space),
                 stats: ProcStats::default(),
             }));
             self.cache_config = Some((policy, lines));
@@ -175,13 +191,27 @@ mod tests {
     #[test]
     fn reset_procs_reuses_matching_config() {
         let mut scratch = SimScratch::new();
-        scratch.reset_procs(4, CachePolicy::Lru, 8);
+        scratch.reset_procs(4, CachePolicy::Lru, 8, 64);
         scratch.procs[2].stats.steals = 9;
-        scratch.reset_procs(4, CachePolicy::Lru, 8);
+        scratch.reset_procs(4, CachePolicy::Lru, 8, 64);
         assert_eq!(scratch.procs.len(), 4);
         assert_eq!(scratch.procs[2].stats.steals, 0, "stats cleared on reuse");
-        scratch.reset_procs(2, CachePolicy::Lru, 16);
+        scratch.reset_procs(2, CachePolicy::Lru, 16, 64);
         assert_eq!(scratch.procs.len(), 2);
         assert_eq!(scratch.procs[0].cache.capacity(), 16);
+    }
+
+    #[test]
+    fn reset_procs_reuses_caches_across_differing_block_spaces() {
+        // The block-space hint pre-sizes the index; a different hint with
+        // the same (policy, lines) must not force a rebuild.
+        let mut scratch = SimScratch::new();
+        scratch.reset_procs(2, CachePolicy::Lru, 4096, 64);
+        scratch.procs[0].cache.access(63);
+        scratch.reset_procs(2, CachePolicy::Lru, 4096, 1 << 16);
+        assert!(!scratch.procs[0].cache.contains(63), "reset cleared it");
+        // Blocks far past the original hint still work (index grows).
+        assert!(scratch.procs[0].cache.access(60_000).is_miss());
+        assert!(scratch.procs[0].cache.contains(60_000));
     }
 }

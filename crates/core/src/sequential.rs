@@ -58,7 +58,10 @@ impl SequentialExecutor {
     pub fn run(&self, dag: &Dag) -> SeqReport {
         let mut tracker = ReadyTracker::new(dag);
         let mut deque: SimDeque<NodeId> = SimDeque::new();
-        let mut cache = CacheSim::new(self.cache_policy, self.cache_lines);
+        // Workload blocks are allocated densely from 0, so the DAG's block
+        // space selects the direct-mapped cache index at large capacities.
+        let mut cache =
+            CacheSim::with_block_hint(self.cache_policy, self.cache_lines, dag.block_space());
         let mut order = Vec::with_capacity(dag.num_nodes());
 
         let mut current = Some(dag.root());
@@ -201,6 +204,29 @@ mod tests {
         assert_eq!(report.cache.hits, 2);
         // The root and final nodes have no block: counted as silent.
         assert_eq!(report.cache.silent as usize, dag.num_nodes() - 4);
+    }
+
+    #[test]
+    fn sentinel_high_block_ids_run_at_large_capacities() {
+        // apps::map_reduce tags its accumulator with Block(u32::MAX - 1),
+        // making the DAG's declared block space u32::MAX. The dense-index
+        // fast path must fall back to hashing instead of allocating
+        // O(largest id) memory — this used to OOM at any C > the scan
+        // crossover.
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        for blk in [0u32, 1, u32::MAX - 1, 0, u32::MAX - 1] {
+            b.task_block(main, Block(blk));
+        }
+        let dag = b.finish().unwrap();
+        assert_eq!(dag.block_space(), u32::MAX as usize);
+        for lines in [256usize, 4096] {
+            let report = SequentialExecutor::new(ForkPolicy::FutureFirst)
+                .with_cache_lines(lines)
+                .run(&dag);
+            assert_eq!(report.cache.misses, 3, "C={lines}: only cold misses");
+            assert_eq!(report.cache.hits, 2);
+        }
     }
 
     #[test]

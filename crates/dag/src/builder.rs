@@ -36,6 +36,9 @@ pub struct DagBuilder {
     nodes: Vec<NodeData>,
     threads: Vec<ThreadData>,
     sync_only: Vec<bool>,
+    /// One past the largest block id ever assigned (maintained by
+    /// [`DagBuilder::set_block`] so `finish` needs no extra node pass).
+    block_space: u32,
 }
 
 impl Default for DagBuilder {
@@ -62,6 +65,7 @@ impl DagBuilder {
             nodes: Vec::with_capacity(nodes),
             threads: Vec::with_capacity(threads.max(1)),
             sync_only: Vec::with_capacity(nodes),
+            block_space: 0,
         };
         let main = ThreadData::new(ThreadId::MAIN, None, None);
         b.threads.push(main);
@@ -321,6 +325,7 @@ impl DagBuilder {
 
     /// Sets the memory block accessed by `node`.
     pub fn set_block(&mut self, node: NodeId, block: Block) {
+        self.block_space = self.block_space.max(block.0.saturating_add(1));
         self.nodes[node.index()].set_block(Some(block));
     }
 
@@ -413,6 +418,7 @@ impl DagBuilder {
         }
 
         let root = self.threads[0].first();
+        let block_space = self.block_space;
         let dag = Dag {
             nodes: self.nodes,
             threads: self.threads,
@@ -420,6 +426,7 @@ impl DagBuilder {
             final_node,
             super_final,
             sync_only: self.sync_only,
+            block_space,
         };
         crate::validate::validate(&dag)?;
         Ok(dag)

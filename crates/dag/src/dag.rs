@@ -26,6 +26,9 @@ pub struct Dag {
     /// the paper's Figure 7(a), or edges added to a super final node). They
     /// are structurally touches but are not counted by [`Dag::num_touches`].
     pub(crate) sync_only: Vec<bool>,
+    /// One past the largest block id any node accesses (0 when no node
+    /// accesses memory), computed once at build time.
+    pub(crate) block_space: u32,
 }
 
 impl Dag {
@@ -134,6 +137,21 @@ impl Dag {
     #[inline]
     pub fn block_of(&self, node: NodeId) -> Option<Block> {
         self.node(node).block()
+    }
+
+    /// One past the largest block id any node accesses, or 0 if no node
+    /// accesses memory.
+    ///
+    /// Workload builders allocate block ids densely from 0 (see
+    /// `wsf_workloads::block_alloc::BlockAlloc`), so this is the *dense
+    /// block range* the cache simulators use to pick a direct-mapped
+    /// block→slot index over a hash map at large capacities. It is
+    /// maintained incrementally as blocks are assigned (no extra build
+    /// pass) and never shrinks on `clear_block`/re-assignment — it may
+    /// over-estimate, which is harmless for a pre-sizing hint.
+    #[inline]
+    pub fn block_space(&self) -> usize {
+        self.block_space as usize
     }
 
     /// The number of distinct memory blocks referenced by the DAG.
@@ -321,6 +339,7 @@ mod tests {
         assert_eq!(d.num_nodes(), 7);
         assert_eq!(d.work(), 7);
         assert_eq!(d.num_blocks(), 3);
+        assert_eq!(d.block_space(), 4, "one past the largest block id");
         assert!(d.check_edge_invariants());
         assert!(!d.has_super_final_node());
     }

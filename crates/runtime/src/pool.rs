@@ -7,7 +7,7 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -26,6 +26,15 @@ pub(crate) struct Inner {
     injector: Injector<Task>,
     idle_mutex: Mutex<()>,
     idle_cond: Condvar,
+    /// Number of workers currently parked (or about to park) on
+    /// `idle_cond`. Task-arrival notifications are skipped entirely when it
+    /// is zero and wake a *single* worker otherwise — one task can only be
+    /// claimed by one worker, so `notify_all` per push just stampeded every
+    /// sleeper through the mutex to find nothing (the classic thundering
+    /// herd). The small window where a worker has failed its final
+    /// `find_task` but not yet registered as idle is covered by the bounded
+    /// 1 ms `wait_for` in the worker loop, exactly as before.
+    idle_workers: AtomicUsize,
     shutdown: AtomicBool,
     policy: SpawnPolicy,
     inline_depth_limit: usize,
@@ -57,8 +66,13 @@ fn with_worker<R>(inner: &Arc<Inner>, f: impl FnOnce(&WorkerLocal) -> R) -> Opti
 }
 
 impl Inner {
+    /// Signals that one task became available: wakes at most one idle
+    /// worker, and none when every worker is already awake.
     fn notify(&self) {
-        self.idle_cond.notify_all();
+        if self.idle_workers.load(Ordering::SeqCst) > 0 {
+            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.idle_cond.notify_one();
+        }
     }
 
     fn push_injector(&self, task: Task) {
@@ -170,12 +184,16 @@ impl Inner {
                         break;
                     }
                     let mut guard = self.idle_mutex.lock();
+                    self.idle_workers.fetch_add(1, Ordering::SeqCst);
                     // Re-check under the lock so a notify between the failed
-                    // find and this wait is not lost for long.
+                    // find and this wait is not lost for long (and the
+                    // bounded wait caps the one remaining race: a push that
+                    // read `idle_workers == 0` just before the increment).
                     if !self.shutdown.load(Ordering::Acquire) {
                         self.idle_cond
                             .wait_for(&mut guard, Duration::from_millis(1));
                     }
+                    self.idle_workers.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
@@ -238,6 +256,7 @@ impl RuntimeBuilder {
             injector: Injector::new(),
             idle_mutex: Mutex::new(()),
             idle_cond: Condvar::new(),
+            idle_workers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             policy: self.policy,
             inline_depth_limit: self.inline_depth_limit,
@@ -408,7 +427,8 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.notify();
+        // Shutdown must reach *every* parked worker, not just one.
+        self.inner.idle_cond.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }

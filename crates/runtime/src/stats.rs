@@ -12,6 +12,7 @@ pub(crate) struct AtomicStats {
     pub touches: AtomicU64,
     pub inline_runs: AtomicU64,
     pub helped_tasks: AtomicU64,
+    pub wakeups: AtomicU64,
 }
 
 impl AtomicStats {
@@ -24,6 +25,7 @@ impl AtomicStats {
             touches: self.touches.load(Ordering::Relaxed),
             inline_runs: self.inline_runs.load(Ordering::Relaxed),
             helped_tasks: self.helped_tasks.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
         }
     }
 }
@@ -50,6 +52,12 @@ pub struct RuntimeStats {
     pub inline_runs: u64,
     /// Tasks executed while helping inside a touch.
     pub helped_tasks: u64,
+    /// Idle-worker wakeups issued on task arrival. Each push wakes at most
+    /// one parked worker (`notify_one`) and none when every worker is
+    /// already awake, so this stays bounded by the number of queued tasks
+    /// instead of multiplying by the worker count (the pre-fix
+    /// `notify_all`-per-push thundering herd).
+    pub wakeups: u64,
 }
 
 impl RuntimeStats {
@@ -63,6 +71,7 @@ impl RuntimeStats {
             touches: self.touches.saturating_sub(earlier.touches),
             inline_runs: self.inline_runs.saturating_sub(earlier.inline_runs),
             helped_tasks: self.helped_tasks.saturating_sub(earlier.helped_tasks),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
         }
     }
 

@@ -67,6 +67,14 @@ fn assert_stats_consistent(stats: &RuntimeStats, context: &str) {
         (0.0..=1.0).contains(&frac),
         "{context}: inline fraction {frac} out of range"
     );
+    // Task-arrival wakeups are notify_one per push (and only when a worker
+    // is parked), so they can never exceed the number of queued tasks.
+    assert!(
+        stats.wakeups <= queued,
+        "{context}: {} wakeups exceed {} queued tasks — the herd is back",
+        stats.wakeups,
+        queued
+    );
 }
 
 #[test]
@@ -219,6 +227,36 @@ fn external_submissions_never_lose_tasks() {
             "{policy}: every injected task executed exactly once"
         );
     }
+}
+
+#[test]
+fn parked_workers_are_woken_one_per_task() {
+    // Let the pool go fully idle (workers park within ~1 ms), then feed it
+    // tasks from outside. Each arrival should wake a parked worker —
+    // `wakeups` must move — but never more than one per push.
+    let rt = Arc::new(Runtime::builder().threads(4).build());
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let mut total = 0u64;
+    for _ in 0..20 {
+        let futures: Vec<_> = (0..5).map(|i| rt.defer_future(move || i as u64)).collect();
+        total += futures.into_iter().map(|f| f.touch()).sum::<u64>();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(total, 20 * 10, "sum of 0..5 per round");
+
+    let stats = rt.stats();
+    assert!(
+        stats.wakeups >= 1,
+        "parked workers were never woken by arrivals (wakeups = 0)"
+    );
+    assert!(
+        stats.wakeups <= stats.futures_created - stats.inline_runs,
+        "{} wakeups for {} queued tasks",
+        stats.wakeups,
+        stats.futures_created - stats.inline_runs
+    );
+    assert_stats_consistent(&stats, "parked wakeups");
 }
 
 #[test]
