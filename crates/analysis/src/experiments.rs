@@ -1,9 +1,10 @@
-//! The experiment suite: one function per experiment in `DESIGN.md` §3.
+//! The experiment suite: one function per experiment in `docs/DESIGN.md`
+//! §3.
 //!
 //! Every experiment returns one or more [`Table`]s whose rows are the
 //! measurements the corresponding theorem or figure of the paper is about,
 //! next to the theorem's own formula evaluated at the same parameters. The
-//! benchmark harness prints them; `EXPERIMENTS.md` archives a run.
+//! benchmark harness prints them; `docs/EXPERIMENTS.md` archives a run.
 
 use crate::fit::power_law_exponent;
 use crate::par::par_map;
@@ -23,7 +24,7 @@ use wsf_workloads::{apps, backpressure, pipeline, runtime_apps, sort, stencil};
 pub enum Scale {
     /// Tiny parameters, used by the test-suite smoke tests.
     Quick,
-    /// The sizes reported in `EXPERIMENTS.md`.
+    /// The sizes reported in `docs/EXPERIMENTS.md`.
     Full,
 }
 
@@ -646,6 +647,7 @@ pub fn e10_runtime(scale: Scale) -> Vec<Table> {
             let mr = runtime_apps::map_reduce(&rt, 32, |w| w as u64, |a, b| a + b);
             let sorted = runtime_apps::merge_sort(&rt, sort_input, 256);
             let grid = runtime_apps::stencil(&rt, grid_rows, grid_cols, 4);
+            let exchange = runtime_apps::stencil_exchange(&rt, grid_rows, grid_cols, 4);
             let stream = runtime_apps::streaming_pipeline(&rt, stream_items, 8);
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
 
@@ -655,10 +657,13 @@ pub fn e10_runtime(scale: Scale) -> Vec<Table> {
                 && mr == Some((0..32u64).sum())
                 && sorted == sort_expected
                 && grid.len() == grid_rows
+                // The per-neighbour-copy exchange must reproduce the
+                // snapshot stencil's grid exactly.
+                && exchange == grid
                 && stream.last().copied() == Some(last * last + 1);
             let stats = rt.stats();
             t.push_row(vec![
-                "fib+sum+map_reduce+sort+stencil+stream".to_string(),
+                "fib+sum+map_reduce+sort+stencil+exchange+stream".to_string(),
                 policy.to_string(),
                 threads.to_string(),
                 ok.to_string(),
@@ -701,19 +706,20 @@ fn run_with_sched(
     run_with(dag, p, c, policy, Some(s.as_mut()))
 }
 
-/// Formats one Theorem-12 measurement as the standard columns: `P`, `T∞`,
-/// scheduler, deviations, the Theorem 12 deviation bound, extra misses, the
-/// Theorem 12 miss bound, steals and a bound verdict. Shared by E12–E15.
-fn thm12_columns(
+/// Formats one measurement as the standard [`THM12_COLUMNS`] row — `P`,
+/// `T∞`, scheduler, deviations, the deviation bound, extra misses, the
+/// miss bound, steals and the bound verdict — for the given precomputed
+/// bound pair. The single row-assembly point behind [`thm12_columns`] and
+/// [`thm16_18_columns`], so the E12–E16 tables cannot drift apart.
+fn bound_verdict_columns(
     seq: &SeqReport,
     rep: &ExecutionReport,
     sp: u64,
     p: usize,
-    c: usize,
     sched: SweepScheduler,
+    dev_bound: u64,
+    miss_bound: u64,
 ) -> Vec<String> {
-    let dev_bound = bounds::thm12_deviations(p as u64, sp);
-    let miss_bound = bounds::thm12_additional_misses(c as u64, p as u64, sp);
     let within = rep.deviations() <= dev_bound && rep.additional_misses(seq) <= miss_bound;
     vec![
         p.to_string(),
@@ -726,6 +732,27 @@ fn thm12_columns(
         rep.steals().to_string(),
         if within { "yes" } else { "NO" }.to_string(),
     ]
+}
+
+/// [`bound_verdict_columns`] against the Theorem 12 formulas. Shared by
+/// E12–E15.
+fn thm12_columns(
+    seq: &SeqReport,
+    rep: &ExecutionReport,
+    sp: u64,
+    p: usize,
+    c: usize,
+    sched: SweepScheduler,
+) -> Vec<String> {
+    bound_verdict_columns(
+        seq,
+        rep,
+        sp,
+        p,
+        sched,
+        bounds::thm12_deviations(p as u64, sp),
+        bounds::thm12_additional_misses(c as u64, p as u64, sp),
+    )
 }
 
 /// Runs one Theorem-12 suite cell under the given scheduler kind and
@@ -1005,6 +1032,122 @@ pub fn e15_cache_capacity(scale: Scale) -> Vec<Table> {
     vec![t]
 }
 
+/// E16 — Theorems 16/18 at scale: the symmetric-exchange stencil (the
+/// super-final workload family — per-neighbour boundary copies closed by a
+/// super final node, which the one-sided E13 wavefront cannot express)
+/// swept over the same cache capacities as E15. `steps = 1` instances are
+/// exactly the Definition 13 class (Theorem 16); `steps > 1` instances
+/// exchange with both neighbours and leave plain local-touch (Definition
+/// 17's regime and one step beyond — the Theorem 18 formula is the bound
+/// column either way, and every row's verdict is asserted in tests).
+///
+/// One shard per `(shape, C)` cell, sharing the DAG, the sequential
+/// baseline and one scratch across its `(P, scheduler)` rows (the E15
+/// protocol), so the table is byte-identical at every thread count.
+pub fn e16_exchange_stencil(scale: Scale) -> Vec<Table> {
+    let capacities = scale.pick(vec![16usize, 256], vec![16, 256, 4096, 32768]);
+    let procs = scale.pick(vec![2usize], vec![2, 8]);
+    let mut columns = vec!["rows", "width", "steps", "nodes", "blocks", "C"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        "E16 / Theorems 16 & 18 at scale — symmetric-exchange stencils (super final node), C = 16 … 32768",
+        &columns,
+    );
+    // Full-scale shapes straddle the swept capacities like E15's: ~1.3k,
+    // ~6.7k and ~34k distinct blocks, plus a steps = 1 shape (the pure
+    // Theorem 16 / Definition 13 class) with a ~33k-block working set.
+    let shapes = scale.pick(
+        vec![(3usize, 2usize, 2usize), (4, 2, 1)],
+        vec![(16, 64, 8), (48, 128, 6), (128, 256, 4), (64, 512, 1)],
+    );
+    let mut cells = Vec::new();
+    for &shape in &shapes {
+        for &c in &capacities {
+            cells.push((shape, c));
+        }
+    }
+    let rows = par_map(cells, |((rows, width, steps), c)| {
+        let dag = stencil::stencil_exchange(rows, width, steps);
+        let class = classify(&dag);
+        assert!(class.structured, "{:?}", class.violations);
+        assert!(class.super_final);
+        if steps == 1 {
+            assert!(class.single_touch, "{:?}", class.violations);
+        } else if rows > 2 {
+            assert!(
+                !class.local_touch,
+                "symmetric exchange leaves plain local-touch"
+            );
+        }
+        let sp = span(&dag);
+        let base = SimConfig {
+            cache_lines: c,
+            fork_policy: ForkPolicy::FutureFirst,
+            ..SimConfig::default()
+        };
+        let seq = ParallelSimulator::new(base).sequential(&dag);
+        let mut scratch = wsf_core::SimScratch::new();
+        let mut out = Vec::new();
+        for &p in &procs {
+            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+                let cfg = SimConfig {
+                    processors: p,
+                    ..base
+                };
+                let mut s = sched.instantiate(cfg.seed);
+                let rep = ParallelSimulator::new(cfg).run_with_scratch(
+                    &dag,
+                    &seq,
+                    s.as_mut(),
+                    false,
+                    &mut scratch,
+                );
+                let mut row = vec![
+                    rows.to_string(),
+                    width.to_string(),
+                    steps.to_string(),
+                    dag.num_nodes().to_string(),
+                    dag.block_space().to_string(),
+                    c.to_string(),
+                ];
+                row.extend(thm16_18_columns(&seq, &rep, sp, p, c, sched, steps == 1));
+                out.push(row);
+            }
+        }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+/// [`bound_verdict_columns`] against the Theorem 16 (single-touch,
+/// `steps = 1`) or Theorem 18 (local-touch regime, `steps > 1`) formulas —
+/// numerically Theorem 8's `P·T∞²` / `C·P·T∞²`, aliased for auditability.
+fn thm16_18_columns(
+    seq: &SeqReport,
+    rep: &ExecutionReport,
+    sp: u64,
+    p: usize,
+    c: usize,
+    sched: SweepScheduler,
+    single_touch: bool,
+) -> Vec<String> {
+    let (dev_bound, miss_bound) = if single_touch {
+        (
+            bounds::thm16_deviations(p as u64, sp),
+            bounds::thm16_additional_misses(c as u64, p as u64, sp),
+        )
+    } else {
+        (
+            bounds::thm18_deviations(p as u64, sp),
+            bounds::thm18_additional_misses(c as u64, p as u64, sp),
+        )
+    };
+    bound_verdict_columns(seq, rep, sp, p, sched, dev_bound, miss_bound)
+}
+
 fn fib_reference(n: u64) -> u64 {
     let (mut a, mut b) = (0u64, 1u64);
     for _ in 0..n {
@@ -1033,6 +1176,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e13_stencil(scale));
     tables.extend(e14_backpressure(scale));
     tables.extend(e15_cache_capacity(scale));
+    tables.extend(e16_exchange_stencil(scale));
     tables
 }
 
@@ -1073,6 +1217,11 @@ pub fn registry() -> Vec<Experiment> {
             "large-capacity locality sweep (C = 16 … 32768)",
             e15_cache_capacity,
         ),
+        (
+            "e16",
+            "Theorems 16/18 symmetric-exchange stencils (super final node)",
+            e16_exchange_stencil,
+        ),
     ]
 }
 
@@ -1102,24 +1251,26 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 16);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
     }
 
     #[test]
     fn thm12_suite_tables_respect_their_bounds() {
-        // The acceptance contract of the Theorem-12 workload suite: every
-        // E12–E15 row reports "yes" in its bound-verdict column, for both
-        // the random-WS and the parsimonious scheduler — E15 extends the
-        // check across the large-capacity cache sweep.
+        // The acceptance contract of the Theorem-12/16/18 workload suites:
+        // every E12–E16 row reports "yes" in its bound-verdict column, for
+        // both the random-WS and the parsimonious scheduler — E15/E16
+        // extend the check across the large-capacity cache sweep (E16 over
+        // the super-final exchange stencils).
         for runner in [
             e12_dnc_sort,
             e13_stencil,
             e14_backpressure,
             e15_cache_capacity,
+            e16_exchange_stencil,
         ] {
             for table in runner(Scale::Quick) {
                 assert!(!table.is_empty(), "{}", table.title);

@@ -3,8 +3,8 @@
 //! Reproduces every theorem and figure of *"Well-Structured Futures and
 //! Cache Locality"* as an executable experiment over the simulator
 //! (`wsf-core`), the workload generators (`wsf-workloads`) and the real
-//! runtime (`wsf-runtime`). See `DESIGN.md` §3 for the experiment index and
-//! `EXPERIMENTS.md` for an archived run.
+//! runtime (`wsf-runtime`). See `docs/DESIGN.md` §3 for the experiment
+//! index and `docs/EXPERIMENTS.md` for an archived run.
 //!
 //! ```
 //! use wsf_analysis::{experiments, Scale};

@@ -44,12 +44,13 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
     let oversubscribed = render_sweep(16, seeds, policies);
     assert_eq!(sequential, oversubscribed);
 
-    // The sharded experiments (E1, E5, E6, E8, E9 and the Theorem-12 suite
-    // E12–E15) re-assemble their rows in input order; their rendered tables
-    // must not depend on threads. For E12–E15 this is the issues'
+    // The sharded experiments (E1, E5, E6, E8, E9 and the Theorem-12/16/18
+    // suites E12–E16) re-assemble their rows in input order; their rendered
+    // tables must not depend on threads. For E12–E16 this is the issues'
     // acceptance contract: the measured workload tables are byte-identical
-    // at every `--threads` setting (E15 additionally exercises the
-    // large-capacity indexed cache models).
+    // at every `--threads` setting (E15/E16 additionally exercise the
+    // large-capacity indexed cache models, E16 over the super-final
+    // symmetric-exchange stencils).
     let runners: Vec<fn(Scale) -> Vec<wsf_analysis::Table>> = vec![
         experiments::e1_thm8_upper,
         experiments::e5_local_touch,
@@ -60,6 +61,7 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
         experiments::e13_stencil,
         experiments::e14_backpressure,
         experiments::e15_cache_capacity,
+        experiments::e16_exchange_stencil,
     ];
     for runner in runners {
         set_threads(1);

@@ -1,7 +1,7 @@
-//! E12–E14 / Theorem 12 workload suite: DAG construction rate and
-//! simulation throughput for divide-and-conquer mergesort, wavefront
-//! stencils and bounded-backpressure pipelines, under random work stealing
-//! and the deterministic parsimonious scheduler.
+//! E12–E16 / Theorem 12/16/18 workload suites: DAG construction rate and
+//! simulation throughput for divide-and-conquer mergesort, wavefront and
+//! symmetric-exchange stencils and bounded-backpressure pipelines, under
+//! random work stealing and the deterministic parsimonious scheduler.
 //!
 //! The construction benches double as the regression guard for the
 //! `DagBuilder` capacity/validation work (ROADMAP: ~300 ns/node was the
@@ -14,7 +14,7 @@ use wsf_bench::{simulate, sizes};
 use wsf_core::{ForkPolicy, ParallelSimulator, ParsimoniousScheduler, SimConfig, SimScratch};
 use wsf_workloads::backpressure::batched_pipeline;
 use wsf_workloads::sort::{mergesort, mergesort_streaming};
-use wsf_workloads::stencil::stencil;
+use wsf_workloads::stencil::{stencil, stencil_exchange};
 
 fn smoke() -> bool {
     std::env::var("WSF_BENCH_SMOKE").is_ok()
@@ -28,6 +28,9 @@ fn build(c: &mut Criterion) {
         b.iter(|| mergesort_streaming(1_024 * scale, 16, 32))
     });
     group.bench_function("stencil", |b| b.iter(|| stencil(8 * scale, 8, 8 * scale)));
+    group.bench_function("stencil_exchange", |b| {
+        b.iter(|| stencil_exchange(8 * scale, 8, 8 * scale))
+    });
     group.bench_function("batched_pipeline", |b| {
         b.iter(|| batched_pipeline(4, 16 * scale, 4, 3))
     });
@@ -39,6 +42,7 @@ fn simulate_suite(c: &mut Criterion) {
     let workloads = [
         ("mergesort", mergesort(512 * scale, 16)),
         ("stencil", stencil(8, 8, 8 * scale)),
+        ("stencil_exchange", stencil_exchange(8, 8, 8 * scale)),
         ("batched_pipeline", batched_pipeline(4, 16 * scale, 4, 3)),
     ];
     let mut group = c.benchmark_group("workload_suite/simulate");

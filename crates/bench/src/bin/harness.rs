@@ -1,12 +1,13 @@
-//! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
+//! The experiment harness: regenerates every table of
+//! `docs/EXPERIMENTS.md`.
 //!
 //! ```text
-//! harness [--quick] [--threads N] [all|e1|e2|...|e14]...
+//! harness [--quick] [--threads N] [all|e1|e2|...|e16]...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` uses the reduced
 //! parameter sweeps (the sizes the test-suite uses); the default is the
-//! full sweep reported in `EXPERIMENTS.md`. `--threads N` (or the
+//! full sweep reported in `docs/EXPERIMENTS.md`. `--threads N` (or the
 //! `WSF_THREADS` environment variable) shards the sweeps across N worker
 //! threads; the tables are byte-identical at every thread count.
 

@@ -3,8 +3,8 @@
 //! Two entry points:
 //!
 //! * the `harness` binary (`cargo run -p wsf-bench --bin harness --release`)
-//!   regenerates every experiment table (E1–E10 of `DESIGN.md`), i.e. the
-//!   quantitative content of each theorem and figure of the paper;
+//!   regenerates every experiment table (E1–E16 of `docs/DESIGN.md`), i.e.
+//!   the quantitative content of each theorem and figure of the paper;
 //! * the Criterion benches (`cargo bench -p wsf-bench`) measure the cost of
 //!   the simulator, the workload generators and the real runtime on the
 //!   same workloads, one bench target per experiment.

@@ -75,7 +75,7 @@ impl ScanRepr for ScanFifo {
 /// A fully associative cache with first-in-first-out replacement.
 ///
 /// Like [`crate::LruCache`], the representation is capacity-adaptive (see
-/// [`crate::adaptive`]): the seed scan queue below [`SCAN_CROSSOVER`], the
+/// the private `adaptive` module): the seed scan queue below [`crate::SCAN_CROSSOVER`], the
 /// O(1) indexed slot arena above it (with the insertion order kept in the
 /// intrusive list and hits leaving it untouched). Both representations
 /// produce identical [`AccessOutcome`] sequences.

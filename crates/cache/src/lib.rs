@@ -22,7 +22,7 @@
 //! policy is **capacity-adaptive**: at or below [`SCAN_CROSSOVER`] lines it
 //! keeps the seed scan representation, above it it switches to an indexed
 //! slot arena (intrusive recency list + block→slot index, hash or
-//! direct-mapped — see [`crate::indexed`]'s module docs) with O(1)
+//! direct-mapped — see the private `indexed` module's docs) with O(1)
 //! amortized access and eviction. The two representations are
 //! access-for-access identical; `tests/differential.rs` proves it
 //! property-style.

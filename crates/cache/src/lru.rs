@@ -7,7 +7,7 @@ use crate::{AccessOutcome, BlockId, Cache, ResidentIter};
 /// recently used (front) to most recently used (back).
 ///
 /// Capacities in the paper's experiments are small (tens of lines), and
-/// below [`SCAN_CROSSOVER`] the O(C) position-scan plus shift is measurably
+/// below [`crate::SCAN_CROSSOVER`] the O(C) position-scan plus shift is measurably
 /// faster in practice than any linked structure — the whole vector is a
 /// couple of cache lines. Above the crossover it degrades quadratically
 /// with the working set, which is what the indexed representation fixes.
@@ -76,8 +76,8 @@ impl ScanRepr for ScanLru {
 /// A fully associative cache of `capacity` lines with least-recently-used
 /// replacement.
 ///
-/// The representation is capacity-adaptive (see [`crate::adaptive`]): at or
-/// below [`SCAN_CROSSOVER`] lines the recency order is a plain vector
+/// The representation is capacity-adaptive (see the private `adaptive` module): at or
+/// below [`crate::SCAN_CROSSOVER`] lines the recency order is a plain vector
 /// scanned per access (fastest at the paper's C = 16), above it an indexed
 /// slot arena with an intrusive recency list and a block→slot map gives
 /// O(1) amortized access and eviction at any capacity. Both representations
@@ -91,7 +91,7 @@ pub struct LruCache {
 
 impl LruCache {
     /// Creates an empty cache with `capacity` lines, picking the
-    /// representation by capacity (scan at or below [`SCAN_CROSSOVER`],
+    /// representation by capacity (scan at or below [`crate::SCAN_CROSSOVER`],
     /// hash-indexed above).
     ///
     /// # Panics

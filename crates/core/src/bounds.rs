@@ -48,6 +48,36 @@ pub fn thm12_additional_misses(cache_lines: u64, processors: u64, span: u64) -> 
     thm8_additional_misses(cache_lines, processors, span)
 }
 
+/// Theorem 16: the future-first upper bound survives adding a *super final
+/// node* (Definition 13) — structured single-touch computations whose
+/// side-effect threads are synchronized only by the final node still incur
+/// `O(P·T∞²)` expected deviations. The formula is Theorem 8's; the alias
+/// documents which theorem a super-final experiment (E6, E16 at
+/// `steps = 1`) is actually checking.
+pub fn thm16_deviations(processors: u64, span: u64) -> u64 {
+    thm8_deviations(processors, span)
+}
+
+/// Theorem 16: expected additional cache misses on structured single-touch
+/// computations with a super final node — `O(C·P·T∞²)`.
+pub fn thm16_additional_misses(cache_lines: u64, processors: u64, span: u64) -> u64 {
+    thm8_additional_misses(cache_lines, processors, span)
+}
+
+/// Theorem 18: the Theorem 12 local-touch bound with a *super final node*
+/// (Definition 17) — `O(P·T∞²)` expected deviations. The formula is
+/// Theorem 8's; the alias documents which theorem an experiment over
+/// symmetric-exchange stencils (E16 at `steps > 1`) is actually checking.
+pub fn thm18_deviations(processors: u64, span: u64) -> u64 {
+    thm8_deviations(processors, span)
+}
+
+/// Theorem 18: expected additional cache misses on structured local-touch
+/// computations with a super final node — `O(C·P·T∞²)`.
+pub fn thm18_additional_misses(cache_lines: u64, processors: u64, span: u64) -> u64 {
+    thm8_additional_misses(cache_lines, processors, span)
+}
+
 /// Spoonhower et al.'s bound for general (unstructured) futures under work
 /// stealing: `Ω(P·T∞ + t·T∞)` deviations.
 pub fn unstructured_deviations(processors: u64, touches: u64, span: u64) -> u64 {
@@ -91,6 +121,10 @@ mod tests {
         assert_eq!(thm9_deviations(3, 7), thm8_deviations(3, 7));
         assert_eq!(thm12_deviations(4, 10), thm8_deviations(4, 10));
         assert_eq!(thm12_additional_misses(8, 4, 10), 3200);
+        assert_eq!(thm16_deviations(4, 10), thm8_deviations(4, 10));
+        assert_eq!(thm16_additional_misses(8, 4, 10), 3200);
+        assert_eq!(thm18_deviations(4, 10), thm8_deviations(4, 10));
+        assert_eq!(thm18_additional_misses(8, 4, 10), 3200);
         assert_eq!(thm10_deviations(16, 10), 160);
         assert_eq!(thm10_additional_misses(8, 16, 10), 1280);
         assert_eq!(unstructured_deviations(4, 16, 10), 200);

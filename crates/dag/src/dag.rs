@@ -14,7 +14,7 @@ use crate::thread::ThreadData;
 /// Node ids are assigned in construction order, and the builder only ever
 /// adds edges from already-existing nodes to newly-created nodes, so node id
 /// order is a valid topological order. Several algorithms in this workspace
-/// rely on that property; [`Dag::validate`] re-checks it.
+/// rely on that property; [`crate::validate()`] re-checks it.
 #[derive(Clone, Debug)]
 pub struct Dag {
     pub(crate) nodes: Vec<NodeData>,
@@ -283,7 +283,7 @@ impl Dag {
 
     /// Check the edge-kind invariants the rest of the workspace relies on.
     ///
-    /// This is cheaper than [`Dag::validate`] and is used in debug
+    /// This is cheaper than [`crate::validate()`] and is used in debug
     /// assertions by the executors.
     pub fn check_edge_invariants(&self) -> bool {
         self.node_ids().all(|id| {

@@ -3,7 +3,7 @@
 use crate::ids::{NodeId, ThreadId};
 use std::fmt;
 
-/// Errors produced by [`crate::DagBuilder`] and [`crate::Dag::validate`].
+/// Errors produced by [`crate::DagBuilder`] and [`crate::validate()`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DagError {
     /// A node id referenced a node that does not exist.

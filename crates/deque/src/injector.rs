@@ -23,7 +23,7 @@
 //! * a global `epoch` counter only ever increments; every
 //!   `push`/`steal`/`is_empty` registers in the parity counter
 //!   `active[epoch % 2]` for exactly the window in which it may
-//!   dereference segment pointers (see [`Injector::enter`]), re-validating
+//!   dereference segment pointers (see `Injector::enter`), re-validating
 //!   the epoch after registering so that the epoch can advance at most
 //!   once while the operation is in flight;
 //! * a drained segment goes to a *limbo* list — stalled in-flight

@@ -23,7 +23,7 @@
 //! figure is a drawing). [`Fig6::gadget`] is the 6(a) analogue;
 //! [`Fig6::repeated`] chains `m` gadgets (6(b) analogue — note that the
 //! chaining used here nests the gadgets, so the span grows with `m`;
-//! `EXPERIMENTS.md` discusses how the measured counts map onto the
+//! `docs/EXPERIMENTS.md` discusses how the measured counts map onto the
 //! theorem's `P·T∞²` form); [`Fig6::tree`] spawns independent gadgets below
 //! a binary tree (6(c) analogue). Each carries the scripted adversary of
 //! the proof.

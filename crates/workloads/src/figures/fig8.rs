@@ -13,7 +13,7 @@
 //! `x_i`), touches the future passed down from its parent stage, and then
 //! splits into a left branch (which will touch the `u_i` future) and a
 //! right branch (which will touch the `x_i` future). Leaf branches graft
-//! the Figure 7(a) gadget. `EXPERIMENTS.md` reports how closely the
+//! the Figure 7(a) gadget. `docs/EXPERIMENTS.md` reports how closely the
 //! measured deviation/miss counts of this reconstruction follow the
 //! theorem's `t·T∞` / `C·t·T∞` shape.
 

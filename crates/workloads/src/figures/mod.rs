@@ -14,8 +14,8 @@
 //!
 //! | Module | Paper artifact | Used by experiment |
 //! |--------|----------------|--------------------|
-//! | [`fig3`] | Figure 3 — unstructured futures (touch reachable before its future thread is spawned) | E4 |
-//! | [`fig4`] | Figure 4 — nested structured single-touch computation | E1, E7 |
+//! | [`mod@fig3`] | Figure 3 — unstructured futures (touch reachable before its future thread is spawned) | E4 |
+//! | [`mod@fig4`] | Figure 4 — nested structured single-touch computation | E1, E7 |
 //! | [`fig5`] | Figure 5 — single-touch patterns beyond fork-join | E9 |
 //! | [`fig6`] | Figures 6(a)–(c) — future-first lower bound (Theorem 9) | E2 |
 //! | [`fig7`] | Figures 7(a)–(b) (and Figure 2) — parent-first amplification | E3, E4 |

@@ -15,10 +15,15 @@
 //!   grids with boundary-exchange futures ([`stencil`]) and streaming
 //!   pipelines with bounded backpressure ([`backpressure`]), all drawing
 //!   their memory-block ids from the shared collision-checked
-//!   [`block_alloc::BlockAlloc`].
+//!   [`block_alloc::BlockAlloc`];
+//! * the Theorem-16/18 super-final family — the symmetric-exchange stencil
+//!   ([`stencil::stencil_exchange`]), whose per-neighbour boundary copies
+//!   need a super final node to close the computation;
+//! * [`presets`] — named size presets scaling every suite family up to
+//!   ~10^6 distinct blocks.
 //!
-//! Every generator documents which experiment (E1–E14 in `DESIGN.md`) it
-//! feeds and which figure or theorem of the paper it reproduces.
+//! Every generator documents which experiment (E1–E16 in `docs/DESIGN.md`)
+//! it feeds and which figure or theorem of the paper it reproduces.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +33,7 @@ pub mod backpressure;
 pub mod block_alloc;
 pub mod figures;
 pub mod pipeline;
+pub mod presets;
 pub mod random;
 pub mod runtime_apps;
 pub mod sort;

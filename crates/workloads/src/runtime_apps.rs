@@ -119,6 +119,68 @@ pub fn stencil(rt: &Arc<Runtime>, rows: usize, cols: usize, steps: usize) -> Vec
     Arc::try_unwrap(grid).unwrap_or_else(|g| (*g).clone())
 }
 
+/// The symmetric-exchange stencil on the real runtime: the same Jacobi
+/// update as [`stencil`], but instead of giving every row future a
+/// snapshot of the whole grid, each row publishes one *boundary-copy
+/// future per neighbour per step* (an up copy and a down copy), and each
+/// row's update future touches exactly the two copies its neighbours
+/// published for it. Every future — row updates and boundary copies alike
+/// — is touched exactly once, mirroring the per-`(neighbour, step)`
+/// boundary blocks of the [`crate::stencil::stencil_exchange`] DAG family
+/// (the last row of futures is touched by the caller, which plays the
+/// super final node). Produces the same grid as [`stencil`], which E10
+/// asserts.
+pub fn stencil_exchange(
+    rt: &Arc<Runtime>,
+    rows: usize,
+    cols: usize,
+    steps: usize,
+) -> Vec<Vec<u64>> {
+    let rows = rows.max(1);
+    let cols = cols.max(1);
+    let mut grid: Vec<Arc<Vec<u64>>> = (0..rows)
+        .map(|r| Arc::new((0..cols).map(|c| ((r * cols + c) % 97) as u64).collect()))
+        .collect();
+    for _ in 0..steps {
+        // Publish the per-neighbour boundary copies for this step.
+        let mut up_copy: Vec<Option<wsf_runtime::Future<Vec<u64>>>> = Vec::with_capacity(rows);
+        let mut down_copy: Vec<Option<wsf_runtime::Future<Vec<u64>>>> = Vec::with_capacity(rows);
+        for (r, row) in grid.iter().enumerate() {
+            let for_upper = Arc::clone(row);
+            up_copy.push((r > 0).then(|| rt.spawn_future(move || (*for_upper).clone())));
+            let for_lower = Arc::clone(row);
+            down_copy.push((r + 1 < rows).then(|| rt.spawn_future(move || (*for_lower).clone())));
+        }
+        // Row updates: each future touches its two neighbours' copies.
+        let futures: Vec<_> = (0..rows)
+            .map(|r| {
+                let up = if r > 0 { down_copy[r - 1].take() } else { None };
+                let down = if r + 1 < rows {
+                    up_copy[r + 1].take()
+                } else {
+                    None
+                };
+                let mine = Arc::clone(&grid[r]);
+                rt.spawn_future(move || {
+                    let up = up.map(|f| f.touch());
+                    let down = down.map(|f| f.touch());
+                    (0..mine.len())
+                        .map(|c| {
+                            let u = up.as_ref().map_or(mine[c], |row| row[c]);
+                            let d = down.as_ref().map_or(mine[c], |row| row[c]);
+                            (u + mine[c] + d) / 3
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        grid = futures.into_iter().map(|f| Arc::new(f.touch())).collect();
+    }
+    grid.into_iter()
+        .map(|row| Arc::try_unwrap(row).unwrap_or_else(|r| (*r).clone()))
+        .collect()
+}
+
 /// A streaming pipeline with bounded backpressure: at most `window` item
 /// futures are in flight at once; when the window is full the oldest
 /// future is touched (FIFO — the Figure 5(a) order) before the next item
@@ -225,6 +287,27 @@ mod tests {
         }
         for rt in runtimes() {
             assert_eq!(stencil(&rt, rows, cols, steps), reference);
+        }
+    }
+
+    #[test]
+    fn stencil_exchange_matches_snapshot_stencil() {
+        // The per-neighbour-copy exchange computes the same grid as the
+        // snapshot formulation (both clamp missing neighbours to self).
+        let (rows, cols, steps) = (8usize, 16usize, 4usize);
+        for rt in runtimes() {
+            assert_eq!(
+                stencil_exchange(&rt, rows, cols, steps),
+                stencil(&rt, rows, cols, steps)
+            );
+        }
+        // Degenerate shapes: one row has no neighbours to exchange with.
+        for rt in runtimes() {
+            assert_eq!(
+                stencil_exchange(&rt, 1, 4, 3),
+                stencil(&rt, 1, 4, 3),
+                "single-row exchange"
+            );
         }
     }
 

@@ -22,7 +22,7 @@ use wsf_dag::Dag;
 use wsf_workloads::backpressure::batched_pipeline;
 use wsf_workloads::pipeline::pipeline;
 use wsf_workloads::sort::{mergesort, mergesort_streaming};
-use wsf_workloads::stencil::stencil;
+use wsf_workloads::stencil::{stencil, stencil_exchange};
 
 /// Asserts every block id in `dag` is used by exactly one node.
 fn assert_blocks_unique(name: &str, dag: &Dag) {
@@ -127,4 +127,45 @@ fn stencil_roles_are_disjoint() {
         }
     }
     assert_eq!(dag.num_blocks(), rows * width + (rows - 1) * steps);
+}
+
+#[test]
+fn stencil_exchange_roles_are_disjoint() {
+    // Same contract as the one-sided stencil, with twice the boundary
+    // regions: each (row, neighbour, step) copy owns its own block, the
+    // copies never alias interior blocks, and interior blocks stay private
+    // to one row thread across steps.
+    let (rows, width, steps) = (5usize, 3usize, 4usize);
+    let dag = stencil_exchange(rows, width, steps);
+    let boundaries = value_blocks(&dag);
+    // Every touched copy has a distinct block — no value is touched (or
+    // stored) twice.
+    assert_eq!(boundaries.len(), dag.touches().count());
+    let mut interior_owner: HashMap<wsf_dag::Block, wsf_dag::ThreadId> = HashMap::new();
+    for id in dag.node_ids() {
+        let Some(blk) = dag.block_of(id) else {
+            continue;
+        };
+        if dag.node(id).is_future_parent() {
+            continue;
+        }
+        // Final-step copies have no consumer (the super final node
+        // synchronizes them); they are still boundary-region blocks, so
+        // only nodes with interior blocks are owner-checked.
+        if blk.0 as usize >= rows * width {
+            continue;
+        }
+        assert!(
+            !boundaries.contains(&blk),
+            "{id}: interior node aliases boundary block {blk}"
+        );
+        let owner = dag.node(id).thread();
+        if let Some(prev) = interior_owner.insert(blk, owner) {
+            assert_eq!(
+                prev, owner,
+                "block {blk} shared between rows {prev} and {owner}"
+            );
+        }
+    }
+    assert_eq!(dag.num_blocks(), rows * width + 2 * (rows - 1) * steps);
 }

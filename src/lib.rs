@@ -37,6 +37,9 @@
 //! assert!(par.completed);
 //! ```
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub use wsf_analysis as analysis;
 pub use wsf_cache as cache;
 pub use wsf_core as core;

@@ -15,6 +15,10 @@
 //!   achieves `Ω(t·n)` deviations from a single adversarial steal.
 //! * **Theorem 12** (upper): the future-first bound extends to structured
 //!   *local-touch* computations (pipelines).
+//! * **Theorems 16 & 18** (upper): both bounds survive adding a *super
+//!   final node* (Definitions 13/17) — checked on the symmetric-exchange
+//!   stencil family, whose per-neighbour boundary copies the plain
+//!   local-touch model cannot express.
 //!
 //! Both [`ForkPolicy`] variants are exercised; policy-independent
 //! invariants (Acar–Blelloch–Blumofe's `ΔM ≤ C·deviations` bridge, zero
@@ -35,7 +39,7 @@ use wsf_workloads::figures::{fig3, fig4, fig5a, fig5b, Fig6, Fig7b, Fig8};
 use wsf_workloads::pipeline::pipeline;
 use wsf_workloads::random::{random_single_touch, RandomConfig};
 use wsf_workloads::sort::{mergesort, mergesort_streaming};
-use wsf_workloads::stencil::stencil;
+use wsf_workloads::stencil::{stencil, stencil_exchange};
 
 const CACHE: usize = 16;
 
@@ -234,6 +238,127 @@ fn thm12_upper_bound_holds_on_workload_suite() {
                     rep.additional_misses(&seq)
                         <= bounds::thm12_additional_misses(CACHE as u64, p as u64, sp),
                     "{name}/{sched_name} P={p}: misses exceed Theorem 12's C·P·T∞²"
+                );
+            }
+        }
+    }
+}
+
+/// The Theorem-16/18 workload suite: symmetric-exchange stencils, closed
+/// by a super final node. `steps = 1` instances are exactly Definition 13
+/// (single-touch + super final, the Theorem 16 class); `steps > 1`
+/// instances exchange with both neighbours, leaving plain local-touch —
+/// the super-final regime the Theorem 18 formula is measured against.
+fn super_final_suite() -> Vec<(&'static str, Dag, bool)> {
+    vec![
+        ("stencil_exchange(4,3,1)", stencil_exchange(4, 3, 1), true),
+        ("stencil_exchange(6,2,1)", stencil_exchange(6, 2, 1), true),
+        ("stencil_exchange(4,3,5)", stencil_exchange(4, 3, 5), false),
+        ("stencil_exchange(6,4,3)", stencil_exchange(6, 4, 3), false),
+        ("stencil_exchange(8,2,4)", stencil_exchange(8, 2, 4), false),
+    ]
+}
+
+#[test]
+fn thm16_18_upper_bounds_hold_on_exchange_stencils() {
+    // Theorems 16 and 18: the O(P·T∞²) / O(C·P·T∞²) future-first bounds
+    // survive the super final node. Randomized work stealing plus the two
+    // deterministic victim selections, as in the Theorem-12 suite check.
+    for (name, dag, single_touch) in super_final_suite() {
+        let class = classify(&dag);
+        assert!(class.super_final, "{name} must carry a super final node");
+        assert!(class.structured, "{name}: {:?}", class.violations);
+        if single_touch {
+            assert_eq!(
+                dag.num_touches(),
+                0,
+                "{name}: a 1-step exchange has no touches, only super-final sync"
+            );
+            assert!(
+                class.single_touch,
+                "{name} must be Definition 13: {:?}",
+                class.violations
+            );
+        } else {
+            assert!(
+                !class.local_touch,
+                "{name}: the symmetric exchange must leave plain local-touch"
+            );
+        }
+        let sp = span(&dag);
+        for p in [2usize, 4] {
+            let (seq0, rep0) = run(&dag, p, ForkPolicy::FutureFirst);
+            let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+                ("greedy", Box::new(GreedyScheduler)),
+                ("parsimonious", Box::new(ParsimoniousScheduler::new(4))),
+            ];
+            let mut runs = vec![("ws-random", seq0, rep0)];
+            for (sched_name, mut sched) in schedulers {
+                let (seq, rep) =
+                    run_adversary(&dag, p, CACHE, ForkPolicy::FutureFirst, sched.as_mut());
+                runs.push((sched_name, seq, rep));
+            }
+            for (sched_name, seq, rep) in runs {
+                assert!(rep.completed, "{name}/{sched_name} P={p}");
+                assert_eq!(
+                    rep.executed(),
+                    dag.num_nodes() as u64,
+                    "{name}/{sched_name}"
+                );
+                let (dev_bound, miss_bound) = if single_touch {
+                    (
+                        bounds::thm16_deviations(p as u64, sp),
+                        bounds::thm16_additional_misses(CACHE as u64, p as u64, sp),
+                    )
+                } else {
+                    (
+                        bounds::thm18_deviations(p as u64, sp),
+                        bounds::thm18_additional_misses(CACHE as u64, p as u64, sp),
+                    )
+                };
+                assert!(
+                    rep.deviations() <= dev_bound,
+                    "{name}/{sched_name} P={p}: {} deviations exceed Theorem {}'s {dev_bound}",
+                    rep.deviations(),
+                    if single_touch { 16 } else { 18 },
+                );
+                assert!(
+                    rep.additional_misses(&seq) <= miss_bound,
+                    "{name}/{sched_name} P={p}: misses exceed Theorem {}'s C·P·T∞²",
+                    if single_touch { 16 } else { 18 },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exchange_stencil_universal_relations_hold_under_both_policies() {
+    // The policy-independent sanity relations on the super-final family:
+    // P = 1 reproduces the sequential execution, ΔM ≤ C·deviations, and
+    // deviations stay inside the general (P+t)·T∞ shape.
+    for (name, dag, _) in super_final_suite() {
+        let sp = span(&dag);
+        let touches = dag.touches().count() as u64;
+        for policy in ForkPolicy::ALL {
+            let (seq1, rep1) = run(&dag, 1, policy);
+            assert_eq!(rep1.deviations(), 0, "{name} ({policy}, P=1)");
+            assert_eq!(
+                rep1.cache_misses(),
+                seq1.cache_misses(),
+                "{name} ({policy}, P=1)"
+            );
+            for p in [2usize, 4] {
+                let (seq, rep) = run(&dag, p, policy);
+                assert!(rep.completed, "{name} ({policy}, P={p})");
+                assert!(
+                    rep.additional_misses(&seq)
+                        <= bounds::misses_from_deviations(CACHE as u64, rep.deviations()),
+                    "{name} ({policy}, P={p}): ΔM exceeds C·deviations"
+                );
+                assert!(
+                    rep.deviations() <= bounds::unstructured_deviations(p as u64, touches, sp),
+                    "{name} ({policy}, P={p}): deviations exceed (P+t)·T∞"
                 );
             }
         }
