@@ -8,7 +8,10 @@
 
 use crate::fit::power_law_exponent;
 use crate::par::par_map;
-use crate::sweeps::{seed_sweep, SweepConfig, SweepScheduler};
+use crate::sweeps::{
+    capacity_sweep, seed_sweep, CapacityGrid, CapacityRun, CapacitySweep, SweepConfig,
+    SweepScheduler,
+};
 use crate::table::Table;
 use wsf_core::{
     bounds, ExecutionReport, ForkPolicy, ParallelSimulator, Scheduler, SeqReport,
@@ -720,16 +723,43 @@ fn bound_verdict_columns(
     dev_bound: u64,
     miss_bound: u64,
 ) -> Vec<String> {
-    let within = rep.deviations() <= dev_bound && rep.additional_misses(seq) <= miss_bound;
+    bound_verdict_columns_raw(
+        sp,
+        p,
+        sched,
+        rep.deviations(),
+        dev_bound,
+        rep.additional_misses(seq),
+        miss_bound,
+        rep.steals(),
+    )
+}
+
+/// The raw-number core of [`bound_verdict_columns`], shared with the
+/// one-pass sweep rows (which carry their measurements in a
+/// [`CapacityRun`] + curve instead of a report pair). Single assembly
+/// point: the two paths cannot drift in format or verdict logic.
+#[allow(clippy::too_many_arguments)]
+fn bound_verdict_columns_raw(
+    sp: u64,
+    p: usize,
+    sched: SweepScheduler,
+    deviations: u64,
+    dev_bound: u64,
+    extra_misses: u64,
+    miss_bound: u64,
+    steals: u64,
+) -> Vec<String> {
+    let within = deviations <= dev_bound && extra_misses <= miss_bound;
     vec![
         p.to_string(),
         sp.to_string(),
         sched.to_string(),
-        rep.deviations().to_string(),
+        deviations.to_string(),
         dev_bound.to_string(),
-        rep.additional_misses(seq).to_string(),
+        extra_misses.to_string(),
         miss_bound.to_string(),
-        rep.steals().to_string(),
+        steals.to_string(),
         if within { "yes" } else { "NO" }.to_string(),
     ]
 }
@@ -938,30 +968,31 @@ pub fn e14_backpressure(scale: Scale) -> Vec<Table> {
 }
 
 /// E15 — large-capacity locality sweep: the Theorem-12 workload families at
-/// cache capacities from the paper's toy C = 16 up to 32K lines (the regime
+/// cache capacities from the paper's toy C = 16 up to 2²⁰ lines (the regime
 /// real cache-simulation frameworks model). The theorems are stated for
-/// arbitrary `C`; this sweep is only tractable because the cache models are
-/// O(1) per access at any capacity (see `wsf_cache`'s indexed
-/// representation — the seed scan models made every access O(C)).
+/// arbitrary `C`; the sweep evaluates the full dense power-of-two grid from
+/// *one* execution per `(family, P, scheduler)` via the stack-distance
+/// profiler's [`capacity_sweep`] (Mattson's one-pass algorithm) — where the
+/// seed path re-simulated once per capacity, capping the grid at 4 points.
 ///
-/// One shard per `(family, C)` cell: the DAG is built once per shard, the
-/// sequential baseline once per `C`, and both are shared by every `(P,
-/// scheduler)` row. Sharded with [`par_map`], so the table is byte-identical
-/// at every thread count.
+/// One shard per family ([`par_map`]), so the table is byte-identical at
+/// every thread count; and the rows are byte-identical to the per-capacity
+/// [`e15_cache_capacity_per_c`] path on any shared grid (pinned in
+/// `tests/parallel_determinism.rs`).
 pub fn e15_cache_capacity(scale: Scale) -> Vec<Table> {
-    let capacities = scale.pick(vec![16usize, 256], vec![16, 256, 4096, 32768]);
-    let procs = scale.pick(vec![2usize], vec![2, 8]);
-    let mut columns = vec!["family", "nodes", "blocks", "C"];
-    columns.extend(THM12_COLUMNS);
-    let mut t = Table::new(
-        "E15 / Theorem 12 at scale — locality sweep over cache capacities C = 16 … 32768",
-        &columns,
-    );
-    // Full-scale sizes are chosen so the working sets straddle the swept
-    // capacities (the mergesort variants touch tens of thousands of blocks,
-    // comparable to C = 32768) — only tractable with O(1) cache models.
-    type Family = (&'static str, fn(Scale) -> Dag);
-    let families: [Family; 4] = [
+    e15_cache_capacity_with_grid(scale, &default_capacity_grid(scale))
+}
+
+/// One workload family of the E15/E17 sweeps: label plus DAG builder.
+type Family = (&'static str, fn(Scale) -> Dag);
+
+/// The Theorem-12 workload families E15 (and E17) sweep.
+///
+/// Full-scale sizes are chosen so the working sets straddle the swept
+/// capacities (the mergesort variants touch tens of thousands of blocks,
+/// comparable to C = 32768) — only tractable with O(1) cache models.
+fn e15_families() -> [Family; 4] {
+    [
         ("mergesort", |s| {
             sort::mergesort(s.pick(64, 65_536), s.pick(8, 64))
         }),
@@ -977,9 +1008,69 @@ pub fn e15_cache_capacity(scale: Scale) -> Vec<Table> {
             let (stages, items) = s.pick((2, 4), (8, 512));
             backpressure::batched_pipeline(stages, items, 4, 3)
         }),
-    ];
+    ]
+}
+
+/// [`e15_cache_capacity`] over a caller-chosen capacity grid: one
+/// [`capacity_sweep`] per family answers every grid point, so the grid's
+/// resolution costs nothing extra. One shard per family; rows come out
+/// family-major, then C, then `(P, scheduler)` — exactly the per-capacity
+/// path's order, which [`e15_cache_capacity_per_c`] pins byte-identical.
+pub fn e15_cache_capacity_with_grid(scale: Scale, grid: &CapacityGrid) -> Vec<Table> {
+    let procs = scale.pick(vec![2usize], vec![2, 8]);
+    let mut columns = vec!["family", "nodes", "blocks", "C"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        capacity_sweep_title("E15 / Theorem 12 at scale — locality sweep", scale, grid),
+        &columns,
+    );
+    let rows = par_map(e15_families().to_vec(), |(name, build)| {
+        let dag = build(scale);
+        let class = classify(&dag);
+        assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+        let sweep = capacity_sweep(
+            &dag,
+            ForkPolicy::FutureFirst,
+            &procs,
+            &[SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+        );
+        let mut out = Vec::new();
+        for &c in grid.capacities() {
+            for run in &sweep.runs {
+                let mut row = vec![
+                    name.to_string(),
+                    dag.num_nodes().to_string(),
+                    dag.block_space().to_string(),
+                    c.to_string(),
+                ];
+                row.extend(thm12_columns_at(&sweep, run, c));
+                out.push(row);
+            }
+        }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+/// The seed per-capacity E15 path: one full re-simulation per `(family,
+/// C)` cell. Kept as the differential anchor the one-pass
+/// [`e15_cache_capacity_with_grid`] is pinned byte-identical against (see
+/// `tests/parallel_determinism.rs`) and as the bench baseline the speedup
+/// is measured from.
+pub fn e15_cache_capacity_per_c(scale: Scale, grid: &CapacityGrid) -> Vec<Table> {
+    let capacities = grid.capacities().to_vec();
+    let procs = scale.pick(vec![2usize], vec![2, 8]);
+    let mut columns = vec!["family", "nodes", "blocks", "C"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        "E15 / Theorem 12 at scale — locality sweep, one re-simulation per capacity",
+        &columns,
+    );
     let mut cells = Vec::new();
-    for &family in &families {
+    for &family in &e15_families() {
         for &c in &capacities {
             cells.push((family, c));
         }
@@ -1041,25 +1132,102 @@ pub fn e15_cache_capacity(scale: Scale) -> Vec<Table> {
 /// 17's regime and one step beyond — the Theorem 18 formula is the bound
 /// column either way, and every row's verdict is asserted in tests).
 ///
-/// One shard per `(shape, C)` cell, sharing the DAG, the sequential
-/// baseline and one scratch across its `(P, scheduler)` rows (the E15
-/// protocol), so the table is byte-identical at every thread count.
+/// One shard per shape ([`par_map`]), each answering every capacity from
+/// one [`capacity_sweep`], so the table is byte-identical at every thread
+/// count and — on any shared grid — byte-identical to the per-capacity
+/// [`e16_exchange_stencil_per_c`] path.
 pub fn e16_exchange_stencil(scale: Scale) -> Vec<Table> {
-    let capacities = scale.pick(vec![16usize, 256], vec![16, 256, 4096, 32768]);
+    e16_exchange_stencil_with_grid(scale, &default_capacity_grid(scale))
+}
+
+/// The symmetric-exchange shapes E16 sweeps.
+///
+/// Full-scale shapes straddle the swept capacities like E15's: ~1.3k,
+/// ~6.7k and ~34k distinct blocks, plus a steps = 1 shape (the pure
+/// Theorem 16 / Definition 13 class) with a ~33k-block working set.
+fn e16_shapes(scale: Scale) -> Vec<(usize, usize, usize)> {
+    scale.pick(
+        vec![(3usize, 2usize, 2usize), (4, 2, 1)],
+        vec![(16, 64, 8), (48, 128, 6), (128, 256, 4), (64, 512, 1)],
+    )
+}
+
+/// Classifies one E16 exchange-stencil DAG, asserting the structural
+/// properties its theorem bounds rely on. Shared by both sweep paths.
+fn e16_classify(dag: &Dag, rows: usize, steps: usize) -> bool {
+    let class = classify(dag);
+    assert!(class.structured, "{:?}", class.violations);
+    assert!(class.super_final);
+    if steps == 1 {
+        assert!(class.single_touch, "{:?}", class.violations);
+    } else if rows > 2 {
+        assert!(
+            !class.local_touch,
+            "symmetric exchange leaves plain local-touch"
+        );
+    }
+    class.single_touch
+}
+
+/// [`e16_exchange_stencil`] over a caller-chosen capacity grid (the E15
+/// one-pass protocol; rows shape-major, then C, then `(P, scheduler)`).
+pub fn e16_exchange_stencil_with_grid(scale: Scale, grid: &CapacityGrid) -> Vec<Table> {
     let procs = scale.pick(vec![2usize], vec![2, 8]);
     let mut columns = vec!["rows", "width", "steps", "nodes", "blocks", "C"];
     columns.extend(THM12_COLUMNS);
     let mut t = Table::new(
-        "E16 / Theorems 16 & 18 at scale — symmetric-exchange stencils (super final node), C = 16 … 32768",
+        capacity_sweep_title(
+            "E16 / Theorems 16 & 18 at scale — symmetric-exchange stencils (super final node)",
+            scale,
+            grid,
+        ),
         &columns,
     );
-    // Full-scale shapes straddle the swept capacities like E15's: ~1.3k,
-    // ~6.7k and ~34k distinct blocks, plus a steps = 1 shape (the pure
-    // Theorem 16 / Definition 13 class) with a ~33k-block working set.
-    let shapes = scale.pick(
-        vec![(3usize, 2usize, 2usize), (4, 2, 1)],
-        vec![(16, 64, 8), (48, 128, 6), (128, 256, 4), (64, 512, 1)],
+    let rows = par_map(e16_shapes(scale), |(rows, width, steps)| {
+        let dag = stencil::stencil_exchange(rows, width, steps);
+        let single_touch = e16_classify(&dag, rows, steps);
+        let sweep = capacity_sweep(
+            &dag,
+            ForkPolicy::FutureFirst,
+            &procs,
+            &[SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+        );
+        let mut out = Vec::new();
+        for &c in grid.capacities() {
+            for run in &sweep.runs {
+                let mut row = vec![
+                    rows.to_string(),
+                    width.to_string(),
+                    steps.to_string(),
+                    dag.num_nodes().to_string(),
+                    dag.block_space().to_string(),
+                    c.to_string(),
+                ];
+                row.extend(thm16_18_columns_at(&sweep, run, c, single_touch));
+                out.push(row);
+            }
+        }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+/// The seed per-capacity E16 path (one re-simulation per `(shape, C)`
+/// cell), kept as the differential anchor and bench baseline like
+/// [`e15_cache_capacity_per_c`].
+pub fn e16_exchange_stencil_per_c(scale: Scale, grid: &CapacityGrid) -> Vec<Table> {
+    let capacities = grid.capacities().to_vec();
+    let procs = scale.pick(vec![2usize], vec![2, 8]);
+    let mut columns = vec!["rows", "width", "steps", "nodes", "blocks", "C"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        "E16 / Theorems 16 & 18 at scale — symmetric-exchange stencils, one re-simulation per capacity",
+        &columns,
     );
+    let shapes = e16_shapes(scale);
     let mut cells = Vec::new();
     for &shape in &shapes {
         for &c in &capacities {
@@ -1068,17 +1236,7 @@ pub fn e16_exchange_stencil(scale: Scale) -> Vec<Table> {
     }
     let rows = par_map(cells, |((rows, width, steps), c)| {
         let dag = stencil::stencil_exchange(rows, width, steps);
-        let class = classify(&dag);
-        assert!(class.structured, "{:?}", class.violations);
-        assert!(class.super_final);
-        if steps == 1 {
-            assert!(class.single_touch, "{:?}", class.violations);
-        } else if rows > 2 {
-            assert!(
-                !class.local_touch,
-                "symmetric exchange leaves plain local-touch"
-            );
-        }
+        let single_touch = e16_classify(&dag, rows, steps);
         let sp = span(&dag);
         let base = SimConfig {
             cache_lines: c,
@@ -1110,7 +1268,7 @@ pub fn e16_exchange_stencil(scale: Scale) -> Vec<Table> {
                     dag.block_space().to_string(),
                     c.to_string(),
                 ];
-                row.extend(thm16_18_columns(&seq, &rep, sp, p, c, sched, steps == 1));
+                row.extend(thm16_18_columns(&seq, &rep, sp, p, c, sched, single_touch));
                 out.push(row);
             }
         }
@@ -1134,7 +1292,14 @@ fn thm16_18_columns(
     sched: SweepScheduler,
     single_touch: bool,
 ) -> Vec<String> {
-    let (dev_bound, miss_bound) = if single_touch {
+    let (dev_bound, miss_bound) = thm16_18_bounds(p, c, sp, single_touch);
+    bound_verdict_columns(seq, rep, sp, p, sched, dev_bound, miss_bound)
+}
+
+/// The Theorem 16 (`steps = 1`) or Theorem 18 (deviation, additional-miss)
+/// bound pair at the given parameters.
+fn thm16_18_bounds(p: usize, c: usize, sp: u64, single_touch: bool) -> (u64, u64) {
+    if single_touch {
         (
             bounds::thm16_deviations(p as u64, sp),
             bounds::thm16_additional_misses(c as u64, p as u64, sp),
@@ -1144,8 +1309,168 @@ fn thm16_18_columns(
             bounds::thm18_deviations(p as u64, sp),
             bounds::thm18_additional_misses(c as u64, p as u64, sp),
         )
-    };
-    bound_verdict_columns(seq, rep, sp, p, sched, dev_bound, miss_bound)
+    }
+}
+
+/// [`bound_verdict_columns_raw`] for one capacity of a one-pass
+/// [`CapacitySweep`] run, against the Theorem 12 formulas — the one-pass
+/// counterpart of [`thm12_columns`].
+fn thm12_columns_at(sweep: &CapacitySweep, run: &CapacityRun, c: usize) -> Vec<String> {
+    let (p, sp) = (run.processors, sweep.span);
+    bound_verdict_columns_raw(
+        sp,
+        p,
+        run.scheduler,
+        run.deviations,
+        bounds::thm12_deviations(p as u64, sp),
+        run.additional_misses_at(&sweep.seq_curve, c),
+        bounds::thm12_additional_misses(c as u64, p as u64, sp),
+        run.steals,
+    )
+}
+
+/// [`bound_verdict_columns_raw`] for one capacity of a one-pass
+/// [`CapacitySweep`] run, against the Theorem 16/18 formulas — the
+/// one-pass counterpart of [`thm16_18_columns`].
+fn thm16_18_columns_at(
+    sweep: &CapacitySweep,
+    run: &CapacityRun,
+    c: usize,
+    single_touch: bool,
+) -> Vec<String> {
+    let (p, sp) = (run.processors, sweep.span);
+    let (dev_bound, miss_bound) = thm16_18_bounds(p, c, sp, single_touch);
+    bound_verdict_columns_raw(
+        sp,
+        p,
+        run.scheduler,
+        run.deviations,
+        dev_bound,
+        run.additional_misses_at(&sweep.seq_curve, c),
+        miss_bound,
+        run.steals,
+    )
+}
+
+/// The capacity grid an experiment sweeps when the caller does not supply
+/// one: two points at `Scale::Quick`, the dense power-of-two grid at
+/// `Scale::Full`.
+pub fn default_capacity_grid(scale: Scale) -> CapacityGrid {
+    scale.pick(CapacityGrid::quick(), CapacityGrid::dense())
+}
+
+/// Renders a capacity-sweep table title: the C range and point count,
+/// plus the grid's truncation note when the caller swept something coarser
+/// than `scale`'s default — so a truncated C-resolution shows up in the
+/// table itself, not just the harness log.
+fn capacity_sweep_title(prefix: &str, scale: Scale, grid: &CapacityGrid) -> String {
+    let caps = grid.capacities();
+    let (lo, hi) = (
+        caps.iter().min().expect("grid is non-empty"),
+        caps.iter().max().expect("grid is non-empty"),
+    );
+    let mut title = format!(
+        "{prefix}, one-pass over C = {lo} … {hi} ({} points)",
+        caps.len()
+    );
+    if grid != &default_capacity_grid(scale) {
+        if let Some(note) = grid.truncation_note() {
+            title.push_str(&format!(" [{note}]"));
+        }
+    }
+    title
+}
+
+/// E17 — per-workload miss-ratio curves: every E15 family and two E16
+/// exchange shapes profiled once with the stack-distance simulator, then
+/// read out at every grid capacity. Each row shows the *sequential*
+/// miss count and miss ratio at that capacity next to the parallel run's
+/// standard bound-verdict columns (Theorem 12 for the families, Theorem
+/// 16/18 for the exchange shapes) — the dense C-resolution picture of how
+/// each working set falls into cache, with the theorem verdicts riding
+/// along at every point.
+pub fn e17_miss_ratio_curves(scale: Scale) -> Vec<Table> {
+    e17_miss_ratio_curves_with_grid(scale, &default_capacity_grid(scale))
+}
+
+/// The E17 workload list: the Theorem-12 families plus two exchange
+/// stencils (one `steps = 1` Theorem-16 instance, one Theorem-18
+/// instance).
+enum E17Workload {
+    /// Index into [`e15_families`] (Theorem-12 bounds).
+    Family(usize),
+    /// An exchange-stencil shape (Theorem-16/18 bounds).
+    Exchange(usize, usize, usize),
+}
+
+/// [`e17_miss_ratio_curves`] over a caller-chosen capacity grid.
+pub fn e17_miss_ratio_curves_with_grid(scale: Scale, grid: &CapacityGrid) -> Vec<Table> {
+    let p = scale.pick(2usize, 8);
+    let exchanges = scale.pick(
+        vec![(3usize, 2usize, 2usize), (4, 2, 1)],
+        vec![(48, 128, 6), (64, 512, 1)],
+    );
+    let mut columns = vec!["workload", "blocks", "C", "seq misses", "seq ratio"];
+    columns.extend(THM12_COLUMNS);
+    let mut t = Table::new(
+        capacity_sweep_title(
+            "E17 / Theorems 12, 16 & 18 — miss-ratio curves (stack distance)",
+            scale,
+            grid,
+        ),
+        &columns,
+    );
+    let mut workloads: Vec<E17Workload> =
+        (0..e15_families().len()).map(E17Workload::Family).collect();
+    workloads.extend(
+        exchanges
+            .iter()
+            .map(|&(r, w, s)| E17Workload::Exchange(r, w, s)),
+    );
+    let rows = par_map(workloads, |workload| {
+        let (name, dag, single_touch, thm12) = match workload {
+            E17Workload::Family(i) => {
+                let (name, build) = e15_families()[i];
+                let dag = build(scale);
+                let class = classify(&dag);
+                assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+                (name.to_string(), dag, false, true)
+            }
+            E17Workload::Exchange(r, w, s) => {
+                let dag = stencil::stencil_exchange(r, w, s);
+                let single_touch = e16_classify(&dag, r, s);
+                (format!("exchange-{r}x{w}x{s}"), dag, single_touch, false)
+            }
+        };
+        let sweep = capacity_sweep(
+            &dag,
+            ForkPolicy::FutureFirst,
+            &[p],
+            &[SweepScheduler::RandomWs],
+        );
+        let run = &sweep.runs[0];
+        let mut out = Vec::new();
+        for &c in grid.capacities() {
+            let mut row = vec![
+                name.clone(),
+                dag.block_space().to_string(),
+                c.to_string(),
+                sweep.seq_curve.misses_at(c).to_string(),
+                format!("{:.4}", sweep.seq_curve.miss_ratio_at(c)),
+            ];
+            row.extend(if thm12 {
+                thm12_columns_at(&sweep, run, c)
+            } else {
+                thm16_18_columns_at(&sweep, run, c, single_touch)
+            });
+            out.push(row);
+        }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
+    }
+    vec![t]
 }
 
 fn fib_reference(n: u64) -> u64 {
@@ -1177,6 +1502,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e14_backpressure(scale));
     tables.extend(e15_cache_capacity(scale));
     tables.extend(e16_exchange_stencil(scale));
+    tables.extend(e17_miss_ratio_curves(scale));
     tables
 }
 
@@ -1214,13 +1540,18 @@ pub fn registry() -> Vec<Experiment> {
         ),
         (
             "e15",
-            "large-capacity locality sweep (C = 16 … 32768)",
+            "large-capacity locality sweep (one-pass, C = 16 … 2^20)",
             e15_cache_capacity,
         ),
         (
             "e16",
             "Theorems 16/18 symmetric-exchange stencils (super final node)",
             e16_exchange_stencil,
+        ),
+        (
+            "e17",
+            "one-pass miss-ratio curves (stack distance)",
+            e17_miss_ratio_curves,
         ),
     ]
 }
@@ -1251,26 +1582,28 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]
     fn thm12_suite_tables_respect_their_bounds() {
         // The acceptance contract of the Theorem-12/16/18 workload suites:
-        // every E12–E16 row reports "yes" in its bound-verdict column, for
-        // both the random-WS and the parsimonious scheduler — E15/E16
-        // extend the check across the large-capacity cache sweep (E16 over
-        // the super-final exchange stencils).
+        // every E12–E17 row reports "yes" in its bound-verdict column, for
+        // both the random-WS and the parsimonious scheduler — E15/E16/E17
+        // extend the check across the capacity sweeps (E16 over the
+        // super-final exchange stencils, E17 over the one-pass miss-ratio
+        // curves).
         for runner in [
             e12_dnc_sort,
             e13_stencil,
             e14_backpressure,
             e15_cache_capacity,
             e16_exchange_stencil,
+            e17_miss_ratio_curves,
         ] {
             for table in runner(Scale::Quick) {
                 assert!(!table.is_empty(), "{}", table.title);

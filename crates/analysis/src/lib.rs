@@ -23,8 +23,11 @@ pub mod par;
 pub mod sweeps;
 pub mod table;
 
-pub use experiments::{registry, run_all, Scale};
+pub use experiments::{default_capacity_grid, registry, run_all, Scale};
 pub use fit::{mean_ratio, power_law_exponent};
 pub use par::{par_map, set_threads, threads};
-pub use sweeps::{seed_sweep, seed_sweep_cells, SweepCell, SweepConfig, SweepScheduler};
+pub use sweeps::{
+    capacity_sweep, parallel_curve, seed_sweep, seed_sweep_cells, sequential_curve, CapacityGrid,
+    CapacityRun, CapacitySweep, SweepCell, SweepConfig, SweepScheduler,
+};
 pub use table::Table;

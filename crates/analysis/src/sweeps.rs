@@ -24,11 +24,12 @@
 use crate::par::par_map;
 use crate::table::Table;
 use std::fmt;
+use wsf_cache::{MissRatioCurve, StackDistanceSim};
 use wsf_core::{
-    bounds, ForkPolicy, ParallelSimulator, ParsimoniousScheduler, RandomScheduler, SimConfig,
-    SimScratch,
+    bounds, ExecutionReport, ForkPolicy, ParallelSimulator, ParsimoniousScheduler, RandomScheduler,
+    SeqReport, SimConfig, SimScratch,
 };
-use wsf_dag::span;
+use wsf_dag::{span, Dag};
 use wsf_workloads::random::{random_single_touch, RandomConfig};
 
 /// Which steal scheduler a sweep cell runs under.
@@ -66,6 +67,238 @@ impl fmt::Display for SweepScheduler {
             SweepScheduler::RandomWs => write!(f, "ws-random"),
             SweepScheduler::Parsimonious => write!(f, "parsimonious"),
         }
+    }
+}
+
+/// The cache capacities a locality sweep evaluates.
+///
+/// The seed experiments hard-coded C ∈ {16, 256, 4096, 32768} because each
+/// capacity cost a full re-simulation; with the one-pass
+/// [`capacity_sweep`] the evaluation grid is free, so the default is
+/// *dense* — every power of two from 2⁴ to 2²⁰ — and coarser grids are an
+/// explicit caller choice surfaced by [`CapacityGrid::truncation_note`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityGrid {
+    capacities: Vec<usize>,
+}
+
+impl CapacityGrid {
+    /// A grid over the given capacities (kept in caller order).
+    ///
+    /// # Panics
+    /// Panics if `capacities` is empty or contains a zero.
+    pub fn new(capacities: Vec<usize>) -> Self {
+        assert!(!capacities.is_empty(), "capacity grid must be non-empty");
+        assert!(
+            capacities.iter().all(|&c| c > 0),
+            "cache capacities must be positive"
+        );
+        CapacityGrid { capacities }
+    }
+
+    /// The dense default: every power of two 2⁴ … 2²⁰ (17 points).
+    pub fn dense() -> Self {
+        CapacityGrid::new((4..=20).map(|e| 1usize << e).collect())
+    }
+
+    /// The seed experiments' coarse grid, C ∈ {16, 256, 4096, 32768}; kept
+    /// as the differential anchor against the per-capacity simulators.
+    pub fn legacy() -> Self {
+        CapacityGrid::new(vec![16, 256, 4096, 32768])
+    }
+
+    /// The two-point grid the `Scale::Quick` smoke tests sweep.
+    pub fn quick() -> Self {
+        CapacityGrid::new(vec![16, 256])
+    }
+
+    /// The capacities, in evaluation order.
+    pub fn capacities(&self) -> &[usize] {
+        &self.capacities
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether the grid has no points (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// A caller-facing note when this grid is coarser than the dense
+    /// default — the harness prints it so truncated C-resolution is never
+    /// silent again.
+    pub fn truncation_note(&self) -> Option<String> {
+        let dense = Self::dense();
+        if self.capacities.len() < dense.capacities.len() {
+            Some(format!(
+                "note: capacity grid truncated to {} point(s) (dense default sweeps {})",
+                self.capacities.len(),
+                dense.capacities.len()
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Parses a comma-separated capacity list (e.g. `16,256,4096`), for
+    /// the harness's `--capacities` flag.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let capacities: Vec<usize> = s
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad capacity {part:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if capacities.is_empty() || capacities.contains(&0) {
+            return Err("capacity grid must be non-empty and positive".into());
+        }
+        Ok(CapacityGrid::new(capacities))
+    }
+}
+
+/// The sequential execution's miss-ratio curve: `seq.order` replayed
+/// through one stack-distance profiler. `curve.misses_at(c)` equals the
+/// miss count of a sequential run at `cache_lines = c` exactly.
+pub fn sequential_curve(dag: &Dag, seq: &SeqReport) -> MissRatioCurve {
+    let mut sd = StackDistanceSim::with_block_hint(dag.block_space());
+    for &node in &seq.order {
+        sd.access_opt(dag.block_of(node).map(|b| b.0));
+    }
+    sd.curve()
+}
+
+/// A traced parallel execution's aggregate miss-ratio curve: one profiler
+/// per processor, fed that processor's completions in trace order, curves
+/// merged. `curve.misses_at(c)` equals the summed per-processor miss count
+/// of the same execution at `cache_lines = c` exactly.
+///
+/// # Panics
+/// Panics if `rep` carries no trace (run the simulator with
+/// `traced = true`).
+pub fn parallel_curve(dag: &Dag, rep: &ExecutionReport) -> MissRatioCurve {
+    let trace = rep
+        .trace
+        .as_ref()
+        .expect("parallel_curve needs a traced execution");
+    let mut sims: Vec<StackDistanceSim> = (0..rep.per_proc.len())
+        .map(|_| StackDistanceSim::with_block_hint(dag.block_space()))
+        .collect();
+    for ev in trace {
+        sims[ev.proc].access_opt(dag.block_of(ev.node).map(|b| b.0));
+    }
+    let mut curve = sims
+        .pop()
+        .map(|sd| sd.curve())
+        .unwrap_or_else(|| StackDistanceSim::new().curve());
+    for sd in &sims {
+        curve.merge(&sd.curve());
+    }
+    curve
+}
+
+/// One `(P, scheduler)` execution of a [`capacity_sweep`]: the
+/// C-independent schedule measurements plus the miss-ratio curve that
+/// answers every capacity.
+#[derive(Clone, Debug)]
+pub struct CapacityRun {
+    /// Processor count of the run.
+    pub processors: usize,
+    /// Scheduler of the run.
+    pub scheduler: SweepScheduler,
+    /// Deviations from the sequential order (C-independent).
+    pub deviations: u64,
+    /// Successful steals (C-independent).
+    pub steals: u64,
+    /// Simulated makespan in steps (C-independent).
+    pub makespan: u64,
+    /// Aggregate per-processor miss-ratio curve of the execution.
+    pub curve: MissRatioCurve,
+}
+
+impl CapacityRun {
+    /// Cache misses beyond the sequential baseline at capacity `c`
+    /// (clamped at zero, matching
+    /// [`ExecutionReport::additional_misses`]).
+    pub fn additional_misses_at(&self, seq_curve: &MissRatioCurve, c: usize) -> u64 {
+        self.curve
+            .misses_at(c)
+            .saturating_sub(seq_curve.misses_at(c))
+    }
+}
+
+/// Result of [`capacity_sweep`]: everything E15/E16/E17 need to emit one
+/// row per capacity without re-simulating anything.
+#[derive(Clone, Debug)]
+pub struct CapacitySweep {
+    /// Span (`T∞`) of the DAG.
+    pub span: u64,
+    /// The sequential execution's miss-ratio curve.
+    pub seq_curve: MissRatioCurve,
+    /// One entry per `(P, scheduler)` pair, in `processors`-major order.
+    pub runs: Vec<CapacityRun>,
+}
+
+/// Simulates `dag` once per `(P, scheduler)` pair and profiles every trace
+/// with the one-pass stack-distance simulator, so hit/miss counts at
+/// *every* capacity come from a single execution per pair — where the
+/// seed experiments re-simulated once per capacity.
+///
+/// Replacing the per-C loop is sound because the simulator's scheduling
+/// never reads cache state: caches are pure accounting updated at node
+/// completion, so the execution order, deviations, steals and makespan are
+/// identical at every `C`, and the per-processor access traces — hence the
+/// exact per-C miss counts, recovered here via the LRU inclusion property —
+/// are too. The differential suite in
+/// `crates/cache/tests/stack_distance_differential.rs` and the pinning
+/// test in `crates/analysis/tests/parallel_determinism.rs` hold this path
+/// to byte-identical tables against the per-capacity one.
+pub fn capacity_sweep(
+    dag: &Dag,
+    fork_policy: ForkPolicy,
+    processors: &[usize],
+    schedulers: &[SweepScheduler],
+) -> CapacitySweep {
+    let base = SimConfig {
+        fork_policy,
+        ..SimConfig::default()
+    };
+    let seq = ParallelSimulator::new(base).sequential(dag);
+    let seq_curve = sequential_curve(dag, &seq);
+    let mut scratch = SimScratch::new();
+    let mut runs = Vec::with_capacity(processors.len() * schedulers.len());
+    for &p in processors {
+        for &scheduler in schedulers {
+            let cfg = SimConfig {
+                processors: p,
+                ..base
+            };
+            let mut sched = scheduler.instantiate(cfg.seed);
+            let rep = ParallelSimulator::new(cfg).run_with_scratch(
+                dag,
+                &seq,
+                sched.as_mut(),
+                true,
+                &mut scratch,
+            );
+            runs.push(CapacityRun {
+                processors: p,
+                scheduler,
+                deviations: rep.deviations(),
+                steals: rep.steals(),
+                makespan: rep.makespan,
+                curve: parallel_curve(dag, &rep),
+            });
+        }
+    }
+    CapacitySweep {
+        span: span(dag),
+        seq_curve,
+        runs,
     }
 }
 
@@ -253,6 +486,63 @@ pub fn seed_sweep(config: &SweepConfig) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn capacity_grid_defaults_and_parse() {
+        assert_eq!(CapacityGrid::dense().len(), 17);
+        assert_eq!(CapacityGrid::dense().capacities()[0], 16);
+        assert_eq!(CapacityGrid::dense().capacities()[16], 1 << 20);
+        assert_eq!(CapacityGrid::legacy().capacities(), &[16, 256, 4096, 32768]);
+        assert!(CapacityGrid::dense().truncation_note().is_none());
+        let note = CapacityGrid::legacy().truncation_note().expect("coarse");
+        assert!(note.contains("truncated to 4"), "{note}");
+        assert!(!CapacityGrid::quick().is_empty());
+
+        let parsed = CapacityGrid::parse("16, 256,4096").expect("parses");
+        assert_eq!(parsed.capacities(), &[16, 256, 4096]);
+        assert!(CapacityGrid::parse("").is_err());
+        assert!(CapacityGrid::parse("16,zero").is_err());
+        assert!(CapacityGrid::parse("16,0").is_err());
+    }
+
+    #[test]
+    fn capacity_sweep_matches_per_capacity_simulation() {
+        // The local exactness check behind the one-pass E15/E16 path: the
+        // single traced execution's curve reproduces the per-capacity
+        // simulators' miss counts at every legacy capacity. (The
+        // full-table byte-identity pin lives in
+        // tests/parallel_determinism.rs.)
+        let dag = wsf_workloads::sort::mergesort(64, 8);
+        let schedulers = [SweepScheduler::RandomWs, SweepScheduler::Parsimonious];
+        let sweep = capacity_sweep(&dag, ForkPolicy::FutureFirst, &[2], &schedulers);
+        assert_eq!(sweep.runs.len(), 2);
+        for &c in CapacityGrid::legacy().capacities() {
+            let base = SimConfig {
+                cache_lines: c,
+                fork_policy: ForkPolicy::FutureFirst,
+                ..SimConfig::default()
+            };
+            let sim = ParallelSimulator::new(base);
+            let seq = sim.sequential(&dag);
+            assert_eq!(sweep.seq_curve.misses_at(c), seq.cache_misses());
+            for (run, scheduler) in sweep.runs.iter().zip(schedulers) {
+                let cfg = SimConfig {
+                    processors: 2,
+                    ..base
+                };
+                let mut s = scheduler.instantiate(cfg.seed);
+                let rep = ParallelSimulator::new(cfg).run_against(&dag, &seq, s.as_mut(), false);
+                assert_eq!(run.deviations, rep.deviations());
+                assert_eq!(run.steals, rep.steals());
+                assert_eq!(run.makespan, rep.makespan);
+                assert_eq!(run.curve.misses_at(c), rep.cache_misses(), "C = {c}");
+                assert_eq!(
+                    run.additional_misses_at(&sweep.seq_curve, c),
+                    rep.additional_misses(&seq)
+                );
+            }
+        }
+    }
 
     #[test]
     fn sweep_covers_every_cell_in_order() {

@@ -9,9 +9,10 @@
 //! Set `WSF_BENCH_SMOKE=1` for a seconds-fast smoke run (used by CI).
 
 use std::time::Instant;
-use wsf_analysis::{seed_sweep_cells, set_threads, SweepConfig};
+use wsf_analysis::experiments::{e15_cache_capacity_per_c, e15_cache_capacity_with_grid};
+use wsf_analysis::{seed_sweep_cells, set_threads, CapacityGrid, Scale, SweepConfig};
 use wsf_bench::cache_bench::{drive, trace as cache_trace, warmed};
-use wsf_cache::LruCache;
+use wsf_cache::{LruCache, StackDistanceSim};
 use wsf_core::{ParallelSimulator, RandomScheduler, SimConfig, SimScratch};
 use wsf_deque::Injector;
 use wsf_workloads::random::{random_single_touch, RandomConfig};
@@ -178,6 +179,41 @@ fn main() {
         cache_rows.push((cap, scan, hash, dense));
     }
 
+    // --- stack-distance profiler: one-pass miss-ratio-curve cost ---
+    // ns/access of the O(log n) Fenwick profile over the same kind of
+    // trace the indexed caches are timed on; one pass answers *every*
+    // capacity, so compare against |C| × the per-capacity cost.
+    let sd_trace = cache_trace(1_024, if smoke { 8_192 } else { 65_536 });
+    let mut sd = StackDistanceSim::with_block_hint(2 * 1_024);
+    let sd_secs = time_median(samples, || {
+        sd.reset();
+        let mut acc = 0u64;
+        for &b in &sd_trace {
+            acc += u64::from(sd.access(b).unwrap_or(0));
+        }
+        acc
+    });
+    let sd_ns_per_access = sd_secs * 1e9 / sd_trace.len() as f64;
+
+    // --- E15 locality sweep: seed per-capacity path (legacy 4-point grid)
+    // vs the one-pass stack-distance path at dense 17-point resolution.
+    // The acceptance bar of the one-pass refactor: denser output in less
+    // wall time. Single-shot timings (the runs are seconds-long; both
+    // sides sharded at 4 threads).
+    let e15_scale = if smoke { Scale::Quick } else { Scale::Full };
+    set_threads(4);
+    let t = Instant::now();
+    let per_c_tables = e15_cache_capacity_per_c(e15_scale, &CapacityGrid::legacy());
+    let e15_per_c_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let one_pass_tables = e15_cache_capacity_with_grid(e15_scale, &CapacityGrid::dense());
+    let e15_one_pass_secs = t.elapsed().as_secs_f64();
+    set_threads(0);
+    let e15_rows = (
+        per_c_tables.iter().map(|t| t.rows.len()).sum::<usize>(),
+        one_pass_tables.iter().map(|t| t.rows.len()).sum::<usize>(),
+    );
+
     let per_op = |secs: f64| secs * 1e9 / (2.0 * ops as f64);
     println!("{{");
     println!("  \"nodes\": {nodes},");
@@ -202,13 +238,21 @@ fn main() {
         "  \"injector_lockfree_ns_per_op\": {:.1},",
         per_op(injector_lockfree_secs)
     );
-    for (i, (cap, scan, hash, dense)) in cache_rows.iter().enumerate() {
-        let sep = if i + 1 == cache_rows.len() { "" } else { "," };
+    for (cap, scan, hash, dense) in &cache_rows {
         println!(
             "  \"cache_c{cap}\": {{ \"scan_lru_ns_per_access\": {scan:.1}, \
              \"indexed_lru_hash_ns_per_access\": {hash:.1}, \
-             \"indexed_lru_dense_ns_per_access\": {dense:.1} }}{sep}"
+             \"indexed_lru_dense_ns_per_access\": {dense:.1} }},"
         );
     }
+    println!("  \"stack_distance_ns_per_access\": {sd_ns_per_access:.1},");
+    println!("  \"e15_per_c_legacy4_secs\": {e15_per_c_secs:.4},");
+    println!("  \"e15_per_c_rows\": {},", e15_rows.0);
+    println!("  \"e15_one_pass_dense17_secs\": {e15_one_pass_secs:.4},");
+    println!("  \"e15_one_pass_rows\": {},", e15_rows.1);
+    println!(
+        "  \"e15_one_pass_speedup\": {:.2}",
+        e15_per_c_secs / e15_one_pass_secs
+    );
     println!("}}");
 }

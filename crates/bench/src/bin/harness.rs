@@ -2,7 +2,7 @@
 //! `docs/EXPERIMENTS.md`.
 //!
 //! ```text
-//! harness [--quick] [--threads N] [all|e1|e2|...|e16]...
+//! harness [--quick] [--threads N] [--capacities C1,C2,...] [all|e1|e2|...|e17]...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` uses the reduced
@@ -10,16 +10,25 @@
 //! full sweep reported in `docs/EXPERIMENTS.md`. `--threads N` (or the
 //! `WSF_THREADS` environment variable) shards the sweeps across N worker
 //! threads; the tables are byte-identical at every thread count.
+//! `--capacities` overrides the cache-capacity grid of the one-pass
+//! locality sweeps (E15/E16/E17); the default is the dense 2^4…2^20 grid,
+//! and a coarser override is flagged with a truncation note so a sparse
+//! run cannot silently pose as the full sweep.
 
-use wsf_analysis::{registry, set_threads, Scale};
+use wsf_analysis::{experiments, registry, set_threads, CapacityGrid, Scale, Table};
+
+/// A gridded experiment runner: the one-pass locality sweeps take the
+/// capacity grid as a parameter.
+type GridRunner = fn(Scale, &CapacityGrid) -> Vec<Table>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    // Single pass: consume `--threads N` (last occurrence wins) and
-    // collect the experiment ids.
+    // Single pass: consume `--threads N` / `--capacities LIST` (last
+    // occurrence wins) and collect the experiment ids.
     let mut wanted: Vec<String> = Vec::new();
+    let mut grid: Option<CapacityGrid> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--threads" {
@@ -27,6 +36,18 @@ fn main() {
                 Some(n) if n > 0 => set_threads(n),
                 _ => {
                     eprintln!("--threads requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--capacities" {
+            match iter.next().map(|v| CapacityGrid::parse(v)) {
+                Some(Ok(g)) => grid = Some(g),
+                Some(Err(e)) => {
+                    eprintln!("--capacities: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--capacities requires a comma-separated list, e.g. 16,256,4096");
                     std::process::exit(2);
                 }
             }
@@ -41,6 +62,17 @@ fn main() {
         "# scale: {:?}; run `harness --quick` for the reduced sweeps\n",
         scale
     );
+    if let Some(note) = grid.as_ref().and_then(|g| g.truncation_note()) {
+        eprintln!("{note}");
+    }
+
+    // The one-pass locality sweeps accept a capacity grid; everything else
+    // ignores `--capacities`.
+    let gridded: [(&str, GridRunner); 3] = [
+        ("e15", experiments::e15_cache_capacity_with_grid),
+        ("e16", experiments::e16_exchange_stencil_with_grid),
+        ("e17", experiments::e17_miss_ratio_curves_with_grid),
+    ];
 
     let mut ran = 0;
     for (id, description, runner) in registry() {
@@ -49,7 +81,12 @@ fn main() {
         }
         println!("## {} — {}\n", id.to_uppercase(), description);
         let start = std::time::Instant::now();
-        for table in runner(scale) {
+        let grid_runner = gridded.iter().find(|(gid, _)| *gid == id).map(|(_, r)| *r);
+        let tables = match (&grid, grid_runner) {
+            (Some(g), Some(r)) => r(scale, g),
+            _ => runner(scale),
+        };
+        for table in tables {
             println!("{table}");
         }
         println!("_({} finished in {:.2?})_\n", id, start.elapsed());

@@ -70,7 +70,7 @@ impl Hasher for BlockHasher {
     }
 }
 
-type BlockHashMap = HashMap<BlockId, u32, BuildHasherDefault<BlockHasher>>;
+pub(crate) type BlockHashMap = HashMap<BlockId, u32, BuildHasherDefault<BlockHasher>>;
 
 /// Direct-mapped block→slot index with generation-stamped entries.
 ///
@@ -156,8 +156,40 @@ pub(crate) enum BlockIndex {
 }
 
 impl BlockIndex {
+    /// A hash index pre-sized for roughly `entries` live keys (`0` defers
+    /// sizing to the first inserts).
+    pub(crate) fn new_hash(entries: usize) -> Self {
+        BlockIndex::Hash(BlockHashMap::with_capacity_and_hasher(
+            entries,
+            BuildHasherDefault::default(),
+        ))
+    }
+
+    /// A direct-mapped index for blocks densely covering `0..space` with
+    /// keys divided by `stride`, or `None` when the declared space exceeds
+    /// [`DENSE_SPACE_LIMIT`] keys (callers fall back to [`Self::new_hash`];
+    /// a sparse or sentinel-polluted range must not cost O(largest id)
+    /// memory).
+    pub(crate) fn new_dense(space: usize, stride: u32) -> Option<Self> {
+        if space.div_ceil(stride.max(1) as usize) > DENSE_SPACE_LIMIT {
+            return None;
+        }
+        Some(BlockIndex::Dense(DenseIndex::new(space, stride)))
+    }
+
+    /// Whether inserting `block` would push a dense index past its growth
+    /// limit, i.e. the owner must migrate to the hash flavor first. Always
+    /// `false` for hash indexes.
     #[inline]
-    fn get(&self, block: BlockId) -> Option<u32> {
+    pub(crate) fn dense_over_limit(&self, block: BlockId) -> bool {
+        match self {
+            BlockIndex::Hash(_) => false,
+            BlockIndex::Dense(dense) => dense.key(block) >= dense.limit,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, block: BlockId) -> Option<u32> {
         match self {
             BlockIndex::Hash(map) => map.get(&block).copied(),
             BlockIndex::Dense(dense) => dense.get(block),
@@ -165,7 +197,7 @@ impl BlockIndex {
     }
 
     #[inline]
-    fn insert(&mut self, block: BlockId, slot: u32) {
+    pub(crate) fn insert(&mut self, block: BlockId, slot: u32) {
         match self {
             BlockIndex::Hash(map) => {
                 map.insert(block, slot);
@@ -175,7 +207,7 @@ impl BlockIndex {
     }
 
     #[inline]
-    fn remove(&mut self, block: BlockId) {
+    pub(crate) fn remove(&mut self, block: BlockId) {
         match self {
             BlockIndex::Hash(map) => {
                 map.remove(&block);
@@ -184,7 +216,7 @@ impl BlockIndex {
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         match self {
             BlockIndex::Hash(map) => map.clear(),
             BlockIndex::Dense(dense) => dense.clear(),
@@ -236,10 +268,7 @@ impl IndexedCache {
             head: NIL,
             tail: NIL,
             capacity,
-            index: BlockIndex::Hash(BlockHashMap::with_capacity_and_hasher(
-                capacity * 2,
-                BuildHasherDefault::default(),
-            )),
+            index: BlockIndex::new_hash(capacity * 2),
             parked: None,
         }
     }
@@ -252,16 +281,16 @@ impl IndexedCache {
     /// range must not cost O(largest id) memory.
     pub(crate) fn new_dense(capacity: usize, space: usize, stride: u32) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        if space.div_ceil(stride.max(1) as usize) > DENSE_SPACE_LIMIT {
+        let Some(index) = BlockIndex::new_dense(space, stride) else {
             return IndexedCache::new_hash(capacity);
-        }
+        };
         IndexedCache {
             slots: Vec::with_capacity(capacity),
             live: 0,
             head: NIL,
             tail: NIL,
             capacity,
-            index: BlockIndex::Dense(DenseIndex::new(space, stride)),
+            index,
             parked: None,
         }
     }
@@ -270,24 +299,22 @@ impl IndexedCache {
     /// hash flavor if `block`'s key lies beyond the dense growth limit.
     /// Live slots are exactly `0..live`, so the migration is a single walk.
     fn index_insert(&mut self, block: BlockId, slot: u32) {
-        if let BlockIndex::Dense(dense) = &self.index {
-            if dense.key(block) >= dense.limit {
-                let mut map = match self.parked.take() {
-                    Some(BlockIndex::Hash(mut map)) => {
-                        map.clear();
-                        map
-                    }
-                    _ => BlockHashMap::with_capacity_and_hasher(
-                        self.capacity * 2,
-                        BuildHasherDefault::default(),
-                    ),
-                };
-                for (i, s) in self.slots[..self.live].iter().enumerate() {
-                    map.insert(s.block, i as u32);
+        if self.index.dense_over_limit(block) {
+            let mut map = match self.parked.take() {
+                Some(BlockIndex::Hash(mut map)) => {
+                    map.clear();
+                    map
                 }
-                let dense = std::mem::replace(&mut self.index, BlockIndex::Hash(map));
-                self.parked = Some(dense);
+                _ => BlockHashMap::with_capacity_and_hasher(
+                    self.capacity * 2,
+                    BuildHasherDefault::default(),
+                ),
+            };
+            for (i, s) in self.slots[..self.live].iter().enumerate() {
+                map.insert(s.block, i as u32);
             }
+            let dense = std::mem::replace(&mut self.index, BlockIndex::Hash(map));
+            self.parked = Some(dense);
         }
         self.index.insert(block, slot);
     }

@@ -49,12 +49,14 @@ mod indexed;
 mod lru;
 mod set_assoc;
 mod sim;
+pub mod stack_distance;
 mod stats;
 
 pub use fifo::FifoCache;
 pub use lru::LruCache;
 pub use set_assoc::SetAssociativeCache;
-pub use sim::{CachePolicy, CacheSim};
+pub use sim::{CachePolicy, CacheSim, StackDistanceSim};
+pub use stack_distance::{MissRatioCurve, StackDistance};
 pub use stats::CacheStats;
 
 /// A memory block identifier. Blocks are the unit of cache occupancy: each

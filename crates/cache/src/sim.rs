@@ -1,5 +1,7 @@
-//! A policy-selectable cache with hit/miss accounting.
+//! A policy-selectable cache with hit/miss accounting, and the one-pass
+//! stack-distance profiler behind the same driving surface.
 
+use crate::stack_distance::{MissRatioCurve, StackDistance};
 use crate::{AccessOutcome, BlockId, Cache, CacheStats, FifoCache, LruCache, SetAssociativeCache};
 
 /// Which replacement policy a [`CacheSim`] uses.
@@ -195,6 +197,98 @@ impl CacheSim {
     }
 }
 
+/// Drives a [`StackDistance`] profiler through the same surface as
+/// [`CacheSim`]: `access` / `access_none` / `access_opt` / `flush` /
+/// `reset`, with silent-access accounting. One pass over a trace yields —
+/// via [`StackDistanceSim::curve`] — the exact [`CacheStats`] a fully
+/// associative LRU `CacheSim` of *any* capacity would report on the same
+/// trace, including interleaved `flush()`es (the profiler's residency
+/// clear mirrors them).
+///
+/// Only the LRU policy has the inclusion property the one-pass profile
+/// relies on, so there is no policy parameter: this is the one-pass
+/// counterpart of `CacheSim::new(CachePolicy::Lru, c)` for all `c` at
+/// once.
+#[derive(Debug, Default)]
+pub struct StackDistanceSim {
+    sd: StackDistance,
+    silent: u64,
+}
+
+impl StackDistanceSim {
+    /// A profiler accepting arbitrary block ids.
+    pub fn new() -> Self {
+        StackDistanceSim {
+            sd: StackDistance::new(),
+            silent: 0,
+        }
+    }
+
+    /// Like [`StackDistanceSim::new`], for traces whose blocks densely
+    /// cover `0..block_space` — same hint contract as
+    /// [`CacheSim::with_block_hint`].
+    pub fn with_block_hint(block_space: usize) -> Self {
+        StackDistanceSim {
+            sd: StackDistance::with_block_hint(block_space),
+            silent: 0,
+        }
+    }
+
+    /// Accesses `block`; returns its stack distance (`None` when cold).
+    #[inline]
+    pub fn access(&mut self, block: BlockId) -> Option<u32> {
+        self.sd.access(block)
+    }
+
+    /// Records an instruction that performs no memory access.
+    #[inline]
+    pub fn access_none(&mut self) {
+        self.silent += 1;
+    }
+
+    /// Accesses `block` if it is `Some`, otherwise records a silent
+    /// instruction.
+    #[inline]
+    pub fn access_opt(&mut self, block: Option<BlockId>) -> Option<u32> {
+        match block {
+            Some(b) => self.access(b),
+            None => {
+                self.access_none();
+                None
+            }
+        }
+    }
+
+    /// Forgets residency but keeps accumulated counts — the profiler-side
+    /// equivalent of [`CacheSim::flush`] at every capacity at once.
+    pub fn flush(&mut self) {
+        self.sd.clear();
+    }
+
+    /// Forgets residency and all counts; O(1) and allocation-free (see
+    /// [`StackDistance::reset`]).
+    pub fn reset(&mut self) {
+        self.sd.reset();
+        self.silent = 0;
+    }
+
+    /// Total accesses recorded (block accesses; silent ones not included).
+    pub fn accesses(&self) -> u64 {
+        self.sd.accesses()
+    }
+
+    /// The capacity-indexed miss-ratio curve of everything recorded.
+    pub fn curve(&self) -> MissRatioCurve {
+        self.sd.curve().with_silent(self.silent)
+    }
+
+    /// The exact [`CacheStats`] an LRU [`CacheSim`] of `capacity` lines
+    /// would have accumulated over the same access sequence.
+    pub fn stats_at(&self, capacity: usize) -> CacheStats {
+        self.curve().stats_at(capacity)
+    }
+}
+
 impl std::fmt::Debug for CacheSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CacheSim")
@@ -298,5 +392,46 @@ mod tests {
         let s = format!("{sim:?}");
         assert!(s.contains("CacheSim"));
         assert!(s.contains("capacity"));
+    }
+
+    #[test]
+    fn stack_distance_sim_matches_cache_sim_stats() {
+        let trace = [Some(1u32), Some(2), None, Some(1), Some(3), None, Some(2)];
+        let mut sd = StackDistanceSim::new();
+        let mut sims: Vec<CacheSim> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&c| CacheSim::new(CachePolicy::Lru, c))
+            .collect();
+        for &b in &trace {
+            sd.access_opt(b);
+            for sim in &mut sims {
+                sim.access_opt(b);
+            }
+        }
+        for sim in &sims {
+            assert_eq!(sd.stats_at(sim.capacity()), sim.stats());
+        }
+        assert_eq!(sd.accesses(), 5);
+    }
+
+    #[test]
+    fn stack_distance_sim_flush_and_reset_mirror_cache_sim() {
+        let mut sd = StackDistanceSim::with_block_hint(16);
+        let mut sim = CacheSim::with_block_hint(CachePolicy::Lru, 2, 16);
+        for &b in &[4u32, 5, 4] {
+            sd.access(b);
+            sim.access(b);
+        }
+        sd.flush();
+        sim.flush();
+        for &b in &[4u32, 5] {
+            sd.access(b);
+            sim.access(b);
+        }
+        assert_eq!(sd.stats_at(2), sim.stats(), "flush keeps counts");
+        sd.reset();
+        sim.reset();
+        assert_eq!(sd.stats_at(2), sim.stats());
+        assert_eq!(sd.curve().accesses(), 0);
     }
 }

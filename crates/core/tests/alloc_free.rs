@@ -110,6 +110,39 @@ fn steady_state_runs_do_not_allocate_per_step() {
 }
 
 #[test]
+fn stack_distance_reset_is_allocation_free_in_steady_state() {
+    // The one-pass profiler's `reset()` is a generation bump: re-profiling
+    // the same trace through one warmed profiler must allocate nothing at
+    // all — not per access, not per reset, not for the histogram.
+    use wsf_cache::StackDistanceSim;
+    use wsf_core::{ForkPolicy, SequentialExecutor};
+
+    let dag = wsf_workloads::sort::mergesort(512, 8);
+    let seq = SequentialExecutor::new(ForkPolicy::FutureFirst).run(&dag);
+    let mut sd = StackDistanceSim::with_block_hint(dag.block_space());
+
+    let profile = |sd: &mut StackDistanceSim| -> u64 {
+        let before = allocs();
+        sd.reset();
+        for &node in &seq.order {
+            sd.access_opt(dag.block_of(node).map(|b| b.0));
+        }
+        allocs() - before
+    };
+
+    let _warm = profile(&mut sd);
+    let steady = profile(&mut sd);
+    let steady_again = profile(&mut sd);
+    assert_eq!(
+        steady, 0,
+        "steady-state reset + re-profile allocated {steady} times; \
+         reset must be a pure generation bump"
+    );
+    assert_eq!(steady, steady_again);
+    assert!(sd.accesses() > 0);
+}
+
+#[test]
 fn fresh_scratch_amortizes_after_first_run() {
     // Even without pre-warming, the second identical run through one
     // scratch allocates only the O(1) report.
