@@ -1473,6 +1473,172 @@ pub fn e17_miss_ratio_curves_with_grid(scale: Scale, grid: &CapacityGrid) -> Vec
     vec![t]
 }
 
+/// The simulator replay behind E18: every committed epoch becomes one
+/// [`backpressure::batched_pipeline`] DAG (the stage topology the engine
+/// executed) and is measured as a standard Theorem-12 row under both
+/// sweep schedulers. The rows depend only on the committed log — which is
+/// exactly why a faulted run must reproduce the fault-free table byte for
+/// byte.
+fn e18_epoch_miss_rows(
+    policy: wsf_runtime::SpawnPolicy,
+    store: &wsf_runtime::CheckpointStore,
+    stages: usize,
+    window: usize,
+    work: usize,
+    p: usize,
+    c: usize,
+) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for cp in store.log() {
+        let dag = backpressure::batched_pipeline(stages, cp.items as usize, window, work);
+        let class = classify(&dag);
+        assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+        let sp = span(&dag);
+        for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+            let mut row = vec![
+                policy.to_string(),
+                cp.epoch.to_string(),
+                cp.first_item.to_string(),
+                cp.items.to_string(),
+            ];
+            row.extend(thm12_row(&dag, sp, p, c, ForkPolicy::FutureFirst, sched));
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// E18 — fault-tolerant streaming epochs: the seeded stream runs through
+/// the crash-recovery engine (`wsf_runtime::StreamEngine`) twice per spawn
+/// policy — fault-free and under a seeded fault schedule of task panics,
+/// worker kills, injector stalls and delayed wakeups
+/// (`WSF_FAULT_SEED`, default 1; the CI fault-matrix job sweeps it) — and
+/// every committed epoch is replayed as its `batched_pipeline` DAG on the
+/// simulator for Theorem-12 per-epoch miss accounting. Because commits
+/// happen only at barriers and transforms are pure over the epoch-start
+/// snapshot, the faulted run must commit a byte-identical log, so its miss
+/// table equals the fault-free one row for row; the summary table checks
+/// the exactly-once invariants (valid contiguous log, states equal to the
+/// sequential reference, fingerprint equal to the fault-free run).
+pub fn e18_streaming_epochs(scale: Scale) -> Vec<Table> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use wsf_runtime::{
+        sequential_reference, EpochConfig, FaultPlan, FaultSpec, Runtime, SpawnPolicy, StreamEngine,
+    };
+    use wsf_workloads::streaming::{mix_stages, SeededStream};
+
+    let c = 16usize;
+    let sim_p = scale.pick(2usize, 4);
+    let stages_n = scale.pick(2usize, 4);
+    let epoch_items = scale.pick(8usize, 64);
+    let epochs = scale.pick(3u64, 8);
+    let (window, work) = (4usize, 2usize);
+    // Ragged final epoch: the last barrier commits fewer items.
+    let len = epoch_items as u64 * epochs - 3;
+    let fault_seed: u64 = std::env::var("WSF_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let source = SeededStream::new(0x5eed_0018, len);
+    let stages = mix_stages(stages_n, 18);
+    let reference = sequential_reference(&stages, &source, epoch_items);
+    let config = EpochConfig {
+        epoch_items,
+        window,
+        max_retries: 8,
+        retry_backoff: Duration::from_millis(1),
+        task_timeout: Duration::from_secs(10),
+    };
+    let spec = FaultSpec {
+        // Well under the `len` dequeues the stream guarantees, so every
+        // drawn fault actually fires (keeps the summary deterministic).
+        horizon: len / 2,
+        panics: 2,
+        kills: 1,
+        stall_period: 5,
+        stall: Duration::from_micros(100),
+        wakeup_period: 3,
+        wakeup_delay: Duration::from_micros(50),
+    };
+
+    let mut columns = vec!["policy", "epoch", "first item", "items"];
+    columns.extend(THM12_COLUMNS);
+    let mut misses = Table::new(
+        format!(
+            "E18 / Theorem 12 — per-epoch miss accounting under injected faults (fault seed {fault_seed})"
+        ),
+        &columns,
+    );
+    let mut summary = Table::new(
+        format!("E18 — crash-recovery summary (fault seed {fault_seed})"),
+        &[
+            "policy",
+            "threads",
+            "fault plan",
+            "epochs",
+            "items",
+            "exactly-once",
+        ],
+    );
+
+    for policy in SpawnPolicy::ALL {
+        let rt = Arc::new(Runtime::builder().threads(2).policy(policy).build());
+        let mut baseline = StreamEngine::new(rt, stages.clone(), config.clone());
+        baseline.run(&source).expect("E18 fault-free baseline");
+
+        let plan = Arc::new(FaultPlan::seeded(fault_seed, &spec));
+        let rt = Arc::new(
+            Runtime::builder()
+                .threads(2)
+                .policy(policy)
+                .fault_hooks(Arc::clone(&plan) as _)
+                .build(),
+        );
+        let mut faulted = StreamEngine::new(rt, stages.clone(), config.clone());
+        let report = faulted
+            .run(&source)
+            .unwrap_or_else(|e| panic!("E18 faulted run (seed {fault_seed}, {policy}): {e}"));
+
+        let clean_rows =
+            e18_epoch_miss_rows(policy, baseline.store(), stages_n, window, work, sim_p, c);
+        let fault_rows =
+            e18_epoch_miss_rows(policy, faulted.store(), stages_n, window, work, sim_p, c);
+        assert_eq!(
+            clean_rows, fault_rows,
+            "E18 {policy}: faulted run must reproduce the fault-free per-epoch miss table"
+        );
+
+        let exactly_once = faulted.store().validate().is_ok()
+            && faulted.committed_states() == reference
+            && faulted.store().fingerprint() == baseline.store().fingerprint();
+        summary.push_row(vec![
+            policy.to_string(),
+            "2".to_string(),
+            plan.describe(),
+            report.epochs_committed.to_string(),
+            report.items.to_string(),
+            if exactly_once { "yes" } else { "NO" }.to_string(),
+        ]);
+        // Scheduling-dependent diagnostics stay out of the table so it is
+        // byte-identical across runs and thread counts.
+        eprintln!(
+            "E18 {policy}: retries={} inline_epochs={} fired: {}p/{}k stalls={} delays={}",
+            report.retries,
+            report.inline_epochs,
+            plan.fired_panics(),
+            plan.fired_kills(),
+            plan.fired_stalls(),
+            plan.fired_delays(),
+        );
+        for row in fault_rows {
+            misses.push_row(row);
+        }
+    }
+    vec![misses, summary]
+}
+
 fn fib_reference(n: u64) -> u64 {
     let (mut a, mut b) = (0u64, 1u64);
     for _ in 0..n {
@@ -1503,6 +1669,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e15_cache_capacity(scale));
     tables.extend(e16_exchange_stencil(scale));
     tables.extend(e17_miss_ratio_curves(scale));
+    tables.extend(e18_streaming_epochs(scale));
     tables
 }
 
@@ -1553,6 +1720,11 @@ pub fn registry() -> Vec<Experiment> {
             "one-pass miss-ratio curves (stack distance)",
             e17_miss_ratio_curves,
         ),
+        (
+            "e18",
+            "fault-tolerant streaming epochs (crash recovery)",
+            e18_streaming_epochs,
+        ),
     ]
 }
 
@@ -1582,21 +1754,23 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]
     fn thm12_suite_tables_respect_their_bounds() {
         // The acceptance contract of the Theorem-12/16/18 workload suites:
-        // every E12–E17 row reports "yes" in its bound-verdict column, for
+        // every E12–E18 row reports "yes" in its bound-verdict column, for
         // both the random-WS and the parsimonious scheduler — E15/E16/E17
         // extend the check across the capacity sweeps (E16 over the
         // super-final exchange stencils, E17 over the one-pass miss-ratio
-        // curves).
+        // curves) and E18 across its injected fault schedule (both the
+        // per-epoch miss table and the crash-recovery summary end in a
+        // verdict column).
         for runner in [
             e12_dnc_sort,
             e13_stencil,
@@ -1604,6 +1778,7 @@ mod tests {
             e15_cache_capacity,
             e16_exchange_stencil,
             e17_miss_ratio_curves,
+            e18_streaming_epochs,
         ] {
             for table in runner(Scale::Quick) {
                 assert!(!table.is_empty(), "{}", table.title);

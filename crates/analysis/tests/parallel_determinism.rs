@@ -52,7 +52,10 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
     // acceptance contract: the measured workload tables are byte-identical
     // at every `--threads` setting (E15/E16 additionally exercise the
     // large-capacity indexed cache models, E16 over the super-final
-    // symmetric-exchange stencils).
+    // symmetric-exchange stencils). E18 runs the real crash-recovery
+    // engine under an injected fault schedule and keeps only
+    // commit-log-derived columns in its tables, so it too must render the
+    // same bytes regardless of sharding threads or fault timing.
     let runners: Vec<fn(Scale) -> Vec<wsf_analysis::Table>> = vec![
         experiments::e1_thm8_upper,
         experiments::e5_local_touch,
@@ -65,6 +68,7 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
         experiments::e15_cache_capacity,
         experiments::e16_exchange_stencil,
         experiments::e17_miss_ratio_curves,
+        experiments::e18_streaming_epochs,
     ];
     for runner in runners {
         set_threads(1);

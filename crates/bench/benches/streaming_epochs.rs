@@ -1,0 +1,124 @@
+//! E18 / fault-tolerant streaming epochs: throughput of the crash-recovery
+//! engine over the seeded mixing workload, and the cost of the fault
+//! plumbing itself — the same stream with no hooks installed (the
+//! zero-cost-when-disabled path: the per-task sequence counter is never
+//! touched), with a fault plan installed but drawn to never fire, and with
+//! an actively firing schedule (panics + kills + stalls), which pays for
+//! retried epochs and a shrinking worker set.
+//!
+//! `WSF_BENCH_SMOKE=1` shrinks the stream so CI can execute one fast
+//! iteration of each benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use wsf_runtime::{EpochConfig, FaultPlan, FaultSpec, Runtime, SpawnPolicy, StreamEngine};
+use wsf_workloads::streaming::{mix_stages, SeededStream};
+
+fn smoke() -> bool {
+    std::env::var("WSF_BENCH_SMOKE").is_ok()
+}
+
+fn config(epoch_items: usize) -> EpochConfig {
+    EpochConfig {
+        epoch_items,
+        window: 8,
+        max_retries: 8,
+        retry_backoff: Duration::from_micros(100),
+        task_timeout: Duration::from_secs(10),
+    }
+}
+
+/// One full engine run: fresh checkpoint log, same runtime. Returns the
+/// committed-epoch count so the work cannot be optimized away.
+fn run_stream(rt: &Arc<Runtime>, len: u64, epoch_items: usize) -> u64 {
+    let stages = mix_stages(3, 18);
+    let source = SeededStream::new(0x5eed_0018, len);
+    let mut engine = StreamEngine::new(Arc::clone(rt), stages, config(epoch_items));
+    engine
+        .run(&source)
+        .expect("bench stream commits")
+        .epochs_committed
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let len: u64 = if smoke() { 64 } else { 4_096 };
+    let epoch_items = if smoke() { 16 } else { 128 };
+    let mut group = c.benchmark_group("streaming_epochs/engine");
+    for policy in SpawnPolicy::ALL {
+        // Runtime built outside the iteration: the bench measures epoch
+        // commit throughput, not pool startup.
+        let rt = Arc::new(Runtime::builder().threads(4).policy(policy).build());
+        group.bench_function(format!("no_hooks/{policy}"), |b| {
+            b.iter(|| run_stream(&rt, len, epoch_items))
+        });
+    }
+    group.finish();
+}
+
+fn fault_plumbing(c: &mut Criterion) {
+    let len: u64 = if smoke() { 64 } else { 4_096 };
+    let epoch_items = if smoke() { 16 } else { 128 };
+    let mut group = c.benchmark_group("streaming_epochs/faultd");
+
+    // Hooks installed but the plan never fires: every fault seq is beyond
+    // the stream, so this isolates the per-dequeue hook dispatch cost.
+    let idle_spec = FaultSpec {
+        horizon: u64::MAX - 8,
+        panics: 2,
+        kills: 1,
+        stall_period: 0,
+        stall: Duration::ZERO,
+        wakeup_period: 0,
+        wakeup_delay: Duration::ZERO,
+    };
+    let idle = Arc::new(FaultPlan::seeded(1, &idle_spec));
+    let rt = Arc::new(
+        Runtime::builder()
+            .threads(4)
+            .fault_hooks(Arc::clone(&idle) as _)
+            .build(),
+    );
+    group.bench_function("hooks_installed_never_fire", |b| {
+        b.iter(|| run_stream(&rt, len, epoch_items))
+    });
+
+    // An actively firing schedule: panics force epoch retries. The task
+    // sequence counter is runtime-global and monotonic, so a shared pool
+    // would fire the plan only on the first iteration — each iteration
+    // builds a fresh runtime (pool startup is included, same for every
+    // sample). Kills are excluded: dead workers never come back, so a
+    // killing plan would not measure a steady state either way.
+    let firing_spec = FaultSpec {
+        horizon: len / 2,
+        panics: 2,
+        kills: 0,
+        stall_period: 64,
+        stall: Duration::from_micros(20),
+        wakeup_period: 0,
+        wakeup_delay: Duration::ZERO,
+    };
+    group.bench_function("panics_and_stalls_firing", |b| {
+        b.iter(|| {
+            let firing = Arc::new(FaultPlan::seeded(1, &firing_spec));
+            let rt = Arc::new(
+                Runtime::builder()
+                    .threads(4)
+                    .fault_hooks(firing as _)
+                    .build(),
+            );
+            run_stream(&rt, len, epoch_items)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = engine_throughput, fault_plumbing
+}
+criterion_main!(benches);

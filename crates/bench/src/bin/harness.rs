@@ -2,7 +2,7 @@
 //! `docs/EXPERIMENTS.md`.
 //!
 //! ```text
-//! harness [--quick] [--threads N] [--capacities C1,C2,...] [all|e1|e2|...|e17]...
+//! harness [--quick] [--threads N] [--capacities C1,C2,...] [all|e1|e2|...|e18]...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` uses the reduced

@@ -122,10 +122,25 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Slots per segment.
 pub const SEG_CAP: usize = 64;
+
+/// Which injector operation a stall hook fired on.
+///
+/// Passed to the hook installed with [`Injector::install_stall_hook`] so a
+/// fault injector can stall pushes and steals independently.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StallSite {
+    /// A producer entering [`Injector::push`].
+    Push,
+    /// A consumer entering [`Injector::steal`].
+    Steal,
+}
+
+/// A callback invoked at the top of every `push`/`steal` once installed.
+type StallHook = Box<dyn Fn(StallSite) + Send + Sync>;
 
 const EMPTY: u8 = 0;
 const FULL: u8 = 1;
@@ -206,6 +221,10 @@ pub struct Injector<T> {
     /// Segments ever allocated from the heap (diagnostics; the stress
     /// suite asserts this stays bounded under recycling).
     allocations: AtomicUsize,
+    /// Optional fault-injection stall hook (see
+    /// [`Injector::install_stall_hook`]). When absent the fast path pays a
+    /// single non-atomic initialized-check branch.
+    stall_hook: OnceLock<StallHook>,
 }
 
 // SAFETY: the queue transfers `T` values across threads, so `T: Send` is
@@ -245,6 +264,28 @@ impl<T: Send> Injector<T> {
                 free: Vec::new(),
             }),
             allocations: AtomicUsize::new(1),
+            stall_hook: OnceLock::new(),
+        }
+    }
+
+    /// Installs a fault-injection hook called at the top of every `push`
+    /// and `steal`, *inside* the operation's epoch registration — so a
+    /// hook that sleeps models a genuinely stalled in-flight operation,
+    /// the adversary the two-parity reclamation scheme must tolerate
+    /// (reclaim keeps making progress on the other parity; the stalled
+    /// op's segment stays in limbo until it exits).
+    ///
+    /// Returns `false` (and drops `hook`) if a hook was already installed;
+    /// the hook cannot be replaced or removed once set.
+    pub fn install_stall_hook(&self, hook: impl Fn(StallSite) + Send + Sync + 'static) -> bool {
+        self.stall_hook.set(Box::new(hook)).is_ok()
+    }
+
+    /// Fires the stall hook, if one is installed.
+    #[inline]
+    fn maybe_stall(&self, site: StallSite) {
+        if let Some(hook) = self.stall_hook.get() {
+            hook(site);
         }
     }
 
@@ -385,6 +426,7 @@ impl<T: Send> Injector<T> {
     /// Pushes `value` at the back of the queue.
     pub fn push(&self, value: T) {
         let _guard = self.enter();
+        self.maybe_stall(StallSite::Push);
         loop {
             let seg_ptr = self.tail.load(Ordering::SeqCst);
             // SAFETY: the guard keeps us counted in our parity of
@@ -456,6 +498,7 @@ impl<T: Send> Injector<T> {
     /// Takes the value at the front of the queue, if any.
     pub fn steal(&self) -> Option<T> {
         let _guard = self.enter();
+        self.maybe_stall(StallSite::Steal);
         loop {
             let seg_ptr = self.head.load(Ordering::SeqCst);
             // SAFETY: see `push` — the guard keeps the segment stable.
@@ -710,5 +753,35 @@ mod tests {
             }
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stall_hook_fires_per_operation_and_installs_once() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        let q = Injector::new();
+        let pushes = Arc::new(AtomicUsize::new(0));
+        let steals = Arc::new(AtomicUsize::new(0));
+        let (p, s) = (Arc::clone(&pushes), Arc::clone(&steals));
+        assert!(q.install_stall_hook(move |site| {
+            match site {
+                StallSite::Push => p.fetch_add(1, Ordering::Relaxed),
+                StallSite::Steal => s.fetch_add(1, Ordering::Relaxed),
+            };
+        }));
+        // Second install is rejected; the first hook keeps firing.
+        assert!(!q.install_stall_hook(|_| panic!("replaced hook must not run")));
+
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.steal(), Some(i));
+        }
+        assert_eq!(q.steal(), None);
+        assert_eq!(pushes.load(Ordering::Relaxed), 10);
+        // Every steal attempt registers, including the empty one.
+        assert_eq!(steals.load(Ordering::Relaxed), 11);
     }
 }

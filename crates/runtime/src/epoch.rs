@@ -1,0 +1,808 @@
+//! Epoch-based streaming execution with checkpoint/restore.
+//!
+//! The batch runtime executes one closed DAG per run; a crashed worker
+//! loses everything. This module turns it into a long-running streaming
+//! engine in the epoch-manager style of dataflow systems: an unbounded
+//! item stream is carved into **epochs** (a commit barrier every N
+//! items), each epoch's items are pushed through a chain of
+//! [`StreamStage`]s as a window of in-flight futures, and at each barrier
+//! the per-stage states plus the epoch's [`RuntimeStats`] delta and
+//! per-stage touch counts are committed to a [`CheckpointStore`]. A
+//! failure mid-epoch (injected panic, killed worker, stranded or
+//! timed-out task) aborts only the *uncommitted* attempt: the engine
+//! retries the epoch with bounded exponential backoff from the last
+//! committed states, and a restarted engine ([`StreamEngine::resume`])
+//! replays nothing before the last committed barrier.
+//!
+//! Determinism is by construction, which is what makes recovery testable:
+//! * [`StreamStage::transform`] is a pure function of the *epoch-start*
+//!   state snapshot and the item, so in-flight items of one epoch can run
+//!   in any order on any worker;
+//! * [`StreamStage::fold`] is applied sequentially, in item order, at the
+//!   commit barrier.
+//!
+//! Committed states therefore depend only on the source and the epoch
+//! partition — not on scheduling, retries, or injected faults. The
+//! crash-recovery tests and experiment E18 assert exactly that: a run
+//! under a seeded fault plan commits byte-identical checkpoints to a
+//! fault-free run.
+
+use crate::future::{TaskError, TouchOutcome};
+use crate::pool::Runtime;
+use crate::stats::RuntimeStats;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An indexed, replayable source of stream items.
+///
+/// Indexed access (rather than a `next()` cursor) is what makes epoch
+/// retry and restore cheap: an aborted epoch re-reads exactly its own
+/// items, and a resumed engine starts at the last committed offset
+/// without replaying the prefix.
+pub trait StreamSource: Send + Sync {
+    /// The item at stream offset `index`, or `None` past the end of a
+    /// finite stream.
+    fn item(&self, index: u64) -> Option<u64>;
+}
+
+impl<F> StreamSource for F
+where
+    F: Fn(u64) -> Option<u64> + Send + Sync,
+{
+    fn item(&self, index: u64) -> Option<u64> {
+        self(index)
+    }
+}
+
+/// One stage of the streaming pipeline.
+///
+/// Stages are chained: stage 0 transforms the raw item, stage `s + 1`
+/// transforms stage `s`'s output — the `batched_pipeline` topology. Each
+/// stage carries one `u64` of state, updated only at commit barriers.
+pub trait StreamStage: Send + Sync {
+    /// The stage's initial state.
+    fn init(&self) -> u64 {
+        0
+    }
+
+    /// Pure per-item work: maps this stage's input to its output, reading
+    /// only the *epoch-start* snapshot of the stage state. Must not
+    /// depend on execution order (it runs concurrently, and re-runs on
+    /// epoch retry).
+    fn transform(&self, state: u64, input: u64) -> u64;
+
+    /// Sequential state update, applied in item order at the commit
+    /// barrier. May be order-sensitive; the engine guarantees item order.
+    fn fold(&self, state: u64, output: u64) -> u64;
+}
+
+/// Tuning knobs of the [`StreamEngine`].
+#[derive(Clone, Debug)]
+pub struct EpochConfig {
+    /// Commit barrier cadence: items per epoch (clamped to at least 1).
+    pub epoch_items: usize,
+    /// In-flight window: how many item futures run concurrently within an
+    /// epoch (clamped to at least 1).
+    pub window: usize,
+    /// How many times a failed epoch is retried before the run errors.
+    pub max_retries: u32,
+    /// Base backoff slept after a failed attempt (doubled per retry).
+    pub retry_backoff: Duration,
+    /// Deadline for any single item future before the attempt is declared
+    /// failed (covers tasks lost to pathological stalls).
+    pub task_timeout: Duration,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            epoch_items: 64,
+            window: 8,
+            max_retries: 4,
+            retry_backoff: Duration::from_millis(1),
+            task_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The state committed at one epoch barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Epoch number (0-based, contiguous).
+    pub epoch: u64,
+    /// Stream offset of the epoch's first item.
+    pub first_item: u64,
+    /// Items committed in this epoch (the last epoch of a finite stream
+    /// may be short).
+    pub items: u64,
+    /// Per-stage states after folding this epoch's outputs.
+    pub stage_states: Vec<u64>,
+    /// Per-stage value touches in this epoch (one per item per stage in
+    /// the chained topology; recorded per stage so heterogeneous
+    /// topologies can diverge later).
+    pub stage_touches: Vec<u64>,
+    /// Runtime-counter delta of the attempt that committed. Diagnostic:
+    /// unlike the fields above it is *not* deterministic (stragglers from
+    /// an aborted attempt may land in it), so it is excluded from
+    /// [`CheckpointStore::fingerprint`].
+    pub stats: RuntimeStats,
+}
+
+impl Checkpoint {
+    /// First stream offset *after* this epoch.
+    pub fn next_item(&self) -> u64 {
+        self.first_item + self.items
+    }
+}
+
+const ENCODE_MAGIC: u64 = 0x5753_4643_4850_5431; // "WSFCHPT1" spirit
+const ENCODE_VERSION: u64 = 1;
+
+/// Words per encoded `RuntimeStats`.
+const STATS_WORDS: usize = 10;
+
+fn encode_stats(s: &RuntimeStats, out: &mut Vec<u64>) {
+    out.extend_from_slice(&[
+        s.tasks_executed,
+        s.steals,
+        s.failed_steals,
+        s.futures_created,
+        s.touches,
+        s.inline_runs,
+        s.helped_tasks,
+        s.wakeups,
+        s.panics,
+        s.worker_deaths,
+    ]);
+}
+
+fn decode_stats(words: &[u64]) -> RuntimeStats {
+    RuntimeStats {
+        tasks_executed: words[0],
+        steals: words[1],
+        failed_steals: words[2],
+        futures_created: words[3],
+        touches: words[4],
+        inline_runs: words[5],
+        helped_tasks: words[6],
+        wakeups: words[7],
+        panics: words[8],
+        worker_deaths: words[9],
+    }
+}
+
+/// The committed checkpoint log of one stream: the durable state a
+/// restarted engine resumes from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStore {
+    log: Vec<Checkpoint>,
+}
+
+impl CheckpointStore {
+    /// An empty log (a stream that has committed nothing).
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Number of committed epochs.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether nothing has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// The committed checkpoints, oldest first.
+    pub fn log(&self) -> &[Checkpoint] {
+        &self.log
+    }
+
+    /// The most recent commit, if any.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.log.last()
+    }
+
+    /// Appends a commit.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint does not extend the log contiguously
+    /// (wrong epoch number or stream offset) — an engine bug, not a
+    /// recoverable condition.
+    pub fn commit(&mut self, cp: Checkpoint) {
+        assert_eq!(cp.epoch, self.log.len() as u64, "non-contiguous epoch");
+        let expected_first = self.latest().map_or(0, Checkpoint::next_item);
+        assert_eq!(
+            cp.first_item, expected_first,
+            "non-contiguous stream offset"
+        );
+        self.log.push(cp);
+    }
+
+    /// Checks the exactly-once commit invariants: epochs are `0..n` with
+    /// no gap or duplicate, every epoch is non-empty, stream offsets
+    /// chain, and stage vector widths agree.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut next_item = 0u64;
+        let width = self.log.first().map(|cp| cp.stage_states.len());
+        for (i, cp) in self.log.iter().enumerate() {
+            if cp.epoch != i as u64 {
+                return Err(format!("epoch {} at log position {i}", cp.epoch));
+            }
+            if cp.first_item != next_item {
+                return Err(format!(
+                    "epoch {i} starts at {} but the stream is at {next_item}",
+                    cp.first_item
+                ));
+            }
+            if cp.items == 0 {
+                return Err(format!("epoch {i} committed zero items"));
+            }
+            if Some(cp.stage_states.len()) != width
+                || cp.stage_touches.len() != cp.stage_states.len()
+            {
+                return Err(format!("epoch {i} has inconsistent stage width"));
+            }
+            next_item = cp.next_item();
+        }
+        Ok(())
+    }
+
+    /// FNV-1a hash of the deterministic payload (epochs, offsets, item
+    /// counts, stage states and touches — *not* the stats diagnostics).
+    /// Two runs committed the same stream state iff their fingerprints
+    /// match; the recovery tests compare faulted runs against fault-free
+    /// ones with this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.log.len() as u64);
+        for cp in &self.log {
+            mix(cp.epoch);
+            mix(cp.first_item);
+            mix(cp.items);
+            mix(cp.stage_states.len() as u64);
+            for &s in &cp.stage_states {
+                mix(s);
+            }
+            for &t in &cp.stage_touches {
+                mix(t);
+            }
+        }
+        h
+    }
+
+    /// Serializes the log to a flat word stream (the repo vendors no
+    /// serde; a fixed little-endian word layout is all restore needs).
+    pub fn encode(&self) -> Vec<u64> {
+        let stages = self.log.first().map_or(0, |cp| cp.stage_states.len());
+        let mut out = vec![
+            ENCODE_MAGIC,
+            ENCODE_VERSION,
+            self.log.len() as u64,
+            stages as u64,
+        ];
+        for cp in &self.log {
+            out.extend_from_slice(&[cp.epoch, cp.first_item, cp.items]);
+            out.extend_from_slice(&cp.stage_states);
+            out.extend_from_slice(&cp.stage_touches);
+            encode_stats(&cp.stats, &mut out);
+        }
+        out
+    }
+
+    /// Inverse of [`CheckpointStore::encode`]; validates framing and the
+    /// commit invariants.
+    pub fn decode(words: &[u64]) -> Result<CheckpointStore, String> {
+        if words.len() < 4 {
+            return Err("checkpoint stream too short".into());
+        }
+        if words[0] != ENCODE_MAGIC {
+            return Err("bad checkpoint magic".into());
+        }
+        if words[1] != ENCODE_VERSION {
+            return Err(format!("unsupported checkpoint version {}", words[1]));
+        }
+        let n = words[2] as usize;
+        let stages = words[3] as usize;
+        let per_cp = 3 + 2 * stages + STATS_WORDS;
+        if words.len() != 4 + n * per_cp {
+            return Err(format!(
+                "checkpoint stream length {} != expected {}",
+                words.len(),
+                4 + n * per_cp
+            ));
+        }
+        let mut log = Vec::with_capacity(n);
+        let mut at = 4;
+        for _ in 0..n {
+            let w = &words[at..at + per_cp];
+            log.push(Checkpoint {
+                epoch: w[0],
+                first_item: w[1],
+                items: w[2],
+                stage_states: w[3..3 + stages].to_vec(),
+                stage_touches: w[3 + stages..3 + 2 * stages].to_vec(),
+                stats: decode_stats(&w[3 + 2 * stages..]),
+            });
+            at += per_cp;
+        }
+        let store = CheckpointStore { log };
+        store.validate()?;
+        Ok(store)
+    }
+}
+
+/// Why one epoch attempt was aborted (internal; surfaces in
+/// [`EngineError`] once retries are exhausted).
+#[derive(Clone, Debug)]
+enum EpochFault {
+    /// An item future failed: panicked body or killed worker.
+    Task(TaskError),
+    /// An item future missed [`EpochConfig::task_timeout`].
+    TimedOut,
+    /// Every worker died while the attempt's tasks were still queued.
+    Stranded,
+}
+
+impl std::fmt::Display for EpochFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochFault::Task(e) => write!(f, "{e}"),
+            EpochFault::TimedOut => write!(f, "item future exceeded the task timeout"),
+            EpochFault::Stranded => write!(f, "all workers died with tasks still queued"),
+        }
+    }
+}
+
+/// A streaming run failed permanently.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// An epoch kept failing past [`EpochConfig::max_retries`]; the
+    /// engine is still positioned at the last committed barrier, so a
+    /// caller may resume after addressing the cause.
+    EpochFailed {
+        /// The epoch that could not commit.
+        epoch: u64,
+        /// Attempts made (1 initial + retries).
+        attempts: u32,
+        /// Description of the last failure.
+        last_fault: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EpochFailed {
+                epoch,
+                attempts,
+                last_fault,
+            } => write!(
+                f,
+                "epoch {epoch} failed after {attempts} attempts (last: {last_fault})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What a (partial) streaming run did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Epochs committed by this call.
+    pub epochs_committed: u64,
+    /// Items committed by this call.
+    pub items: u64,
+    /// Aborted epoch attempts that were retried.
+    pub retries: u64,
+    /// Epochs executed inline on the driver thread because no live worker
+    /// remained (graceful degradation).
+    pub inline_epochs: u64,
+}
+
+/// The epoch manager: drives a [`StreamSource`] through the stage chain
+/// on a [`Runtime`], committing a [`Checkpoint`] at every barrier.
+pub struct StreamEngine {
+    rt: Arc<Runtime>,
+    stages: Vec<Arc<dyn StreamStage>>,
+    config: EpochConfig,
+    store: CheckpointStore,
+}
+
+impl StreamEngine {
+    /// An engine starting a fresh stream (offset 0, initial stage states).
+    pub fn new(rt: Arc<Runtime>, stages: Vec<Arc<dyn StreamStage>>, config: EpochConfig) -> Self {
+        StreamEngine {
+            rt,
+            stages,
+            config,
+            store: CheckpointStore::new(),
+        }
+    }
+
+    /// An engine resuming from a previously committed log — the process
+    /// restart path. Validates the log; the stream continues at
+    /// [`StreamEngine::next_item`], replaying nothing before it.
+    pub fn resume(
+        rt: Arc<Runtime>,
+        stages: Vec<Arc<dyn StreamStage>>,
+        config: EpochConfig,
+        store: CheckpointStore,
+    ) -> Result<Self, String> {
+        store.validate()?;
+        if let Some(cp) = store.latest() {
+            if cp.stage_states.len() != stages.len() {
+                return Err(format!(
+                    "log has {} stages, engine has {}",
+                    cp.stage_states.len(),
+                    stages.len()
+                ));
+            }
+        }
+        Ok(StreamEngine {
+            rt,
+            stages,
+            config,
+            store,
+        })
+    }
+
+    /// The committed log so far.
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Consumes the engine, yielding the committed log (what a process
+    /// would persist before exiting).
+    pub fn into_store(self) -> CheckpointStore {
+        self.store
+    }
+
+    /// Current per-stage states: the last committed ones, or the initial
+    /// states for a fresh stream.
+    pub fn committed_states(&self) -> Vec<u64> {
+        match self.store.latest() {
+            Some(cp) => cp.stage_states.clone(),
+            None => self.stages.iter().map(|s| s.init()).collect(),
+        }
+    }
+
+    /// The stream offset the next epoch starts at.
+    pub fn next_item(&self) -> u64 {
+        self.store.latest().map_or(0, Checkpoint::next_item)
+    }
+
+    /// Runs until the source is exhausted.
+    pub fn run(&mut self, source: &dyn StreamSource) -> Result<EngineReport, EngineError> {
+        self.run_epochs(source, u64::MAX)
+    }
+
+    /// Runs at most `max_epochs` commit barriers (or until the source is
+    /// exhausted). On error the engine stays at the last committed
+    /// barrier; committed work is never lost or repeated.
+    pub fn run_epochs(
+        &mut self,
+        source: &dyn StreamSource,
+        max_epochs: u64,
+    ) -> Result<EngineReport, EngineError> {
+        let mut report = EngineReport::default();
+        let epoch_items = self.config.epoch_items.max(1);
+        while report.epochs_committed < max_epochs {
+            let first = self.next_item();
+            let items: Vec<u64> = (0..epoch_items as u64)
+                .map_while(|k| source.item(first + k))
+                .collect();
+            if items.is_empty() {
+                break;
+            }
+            let epoch = self.store.len() as u64;
+            let base_states = self.committed_states();
+
+            let mut attempt: u32 = 0;
+            let (new_states, stats_delta) = loop {
+                let before = self.rt.stats();
+                match self.try_epoch(&items, &base_states, &mut report) {
+                    Ok(states) => break (states, self.rt.stats().since(&before)),
+                    Err(fault) => {
+                        attempt += 1;
+                        if attempt > self.config.max_retries {
+                            return Err(EngineError::EpochFailed {
+                                epoch,
+                                attempts: attempt,
+                                last_fault: fault.to_string(),
+                            });
+                        }
+                        report.retries += 1;
+                        // Bounded exponential backoff before re-running the
+                        // epoch from the committed states.
+                        let exp = (attempt - 1).min(10);
+                        std::thread::sleep(self.config.retry_backoff * (1u32 << exp));
+                    }
+                }
+            };
+
+            self.store.commit(Checkpoint {
+                epoch,
+                first_item: first,
+                items: items.len() as u64,
+                stage_states: new_states,
+                stage_touches: vec![items.len() as u64; self.stages.len()],
+                stats: stats_delta,
+            });
+            report.epochs_committed += 1;
+            report.items += items.len() as u64;
+        }
+        Ok(report)
+    }
+
+    /// One attempt at one epoch: transform the items (in parallel, from
+    /// the epoch-start snapshot) and fold them in item order. Any failure
+    /// aborts the whole attempt; nothing escapes into committed state.
+    fn try_epoch(
+        &self,
+        items: &[u64],
+        base_states: &[u64],
+        report: &mut EngineReport,
+    ) -> Result<Vec<u64>, EpochFault> {
+        if self.rt.live_workers() == 0 {
+            // Graceful degradation: every worker died. The driver thread
+            // executes the epoch inline — slower, but the stream keeps
+            // committing (and the result is identical by purity).
+            report.inline_epochs += 1;
+            let mut states = base_states.to_vec();
+            for &item in items {
+                let outs = chain_transforms(&self.stages, base_states, item);
+                fold_outputs(&self.stages, &mut states, &outs);
+            }
+            return Ok(states);
+        }
+
+        let snapshot: Arc<Vec<u64>> = Arc::new(base_states.to_vec());
+        let window = self.config.window.max(1);
+        let mut states = base_states.to_vec();
+        let mut inflight = VecDeque::with_capacity(window);
+
+        for &item in items {
+            if inflight.len() == window {
+                let outs = self.await_item(inflight.pop_front().expect("window non-empty"))?;
+                fold_outputs(&self.stages, &mut states, &outs);
+            }
+            let stages = self.stages.clone();
+            let snap = Arc::clone(&snapshot);
+            inflight.push_back(
+                self.rt
+                    .defer_future(move || chain_transforms(&stages, &snap, item)),
+            );
+            // A failed attempt drops `inflight` here: orphaned in-flight
+            // tasks may still complete later, but their results are
+            // discarded and the retry recomputes from `base_states`, so
+            // committed effects stay exactly-once.
+        }
+        while let Some(fut) = inflight.pop_front() {
+            let outs = self.await_item(fut)?;
+            fold_outputs(&self.stages, &mut states, &outs);
+        }
+        Ok(states)
+    }
+
+    /// Touches one item future in bounded slices, watching for the two
+    /// conditions a plain blocking touch would hang on: the worker set
+    /// dying entirely, and a task lost past the timeout.
+    fn await_item(&self, fut: crate::future::Future<Vec<u64>>) -> Result<Vec<u64>, EpochFault> {
+        const SLICE: Duration = Duration::from_millis(2);
+        let deadline = Instant::now() + self.config.task_timeout;
+        let mut fut = fut;
+        loop {
+            match fut.touch_within(SLICE) {
+                TouchOutcome::Ready(v) => return Ok(v),
+                TouchOutcome::Failed(e) => return Err(EpochFault::Task(e)),
+                TouchOutcome::Pending(back) => {
+                    fut = back;
+                    if self.rt.live_workers() == 0 {
+                        return Err(EpochFault::Stranded);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(EpochFault::TimedOut);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Chained transforms of one item from the epoch-start snapshot: returns
+/// each stage's output (`outs[s]` feeds stage `s + 1`).
+fn chain_transforms(stages: &[Arc<dyn StreamStage>], snapshot: &[u64], item: u64) -> Vec<u64> {
+    let mut outs = Vec::with_capacity(stages.len());
+    let mut x = item;
+    for (s, stage) in stages.iter().enumerate() {
+        x = stage.transform(snapshot[s], x);
+        outs.push(x);
+    }
+    outs
+}
+
+/// Sequential fold of one item's stage outputs into the working states.
+fn fold_outputs(stages: &[Arc<dyn StreamStage>], states: &mut [u64], outs: &[u64]) {
+    for (s, stage) in stages.iter().enumerate() {
+        states[s] = stage.fold(states[s], outs[s]);
+    }
+}
+
+/// The canonical single-threaded reference: exactly the engine's
+/// semantics (epoch-start snapshots every `epoch_items` items, folds in
+/// item order) with no runtime involved. Recovery tests compare engine
+/// runs — faulted or not — against this.
+pub fn sequential_reference(
+    stages: &[Arc<dyn StreamStage>],
+    source: &dyn StreamSource,
+    epoch_items: usize,
+) -> Vec<u64> {
+    let epoch_items = epoch_items.max(1);
+    let mut states: Vec<u64> = stages.iter().map(|s| s.init()).collect();
+    let mut idx = 0u64;
+    'stream: loop {
+        let snapshot = states.clone();
+        for _ in 0..epoch_items {
+            let Some(item) = source.item(idx) else {
+                break 'stream;
+            };
+            let outs = chain_transforms(stages, &snapshot, item);
+            fold_outputs(stages, &mut states, &outs);
+            idx += 1;
+        }
+        if source.item(idx).is_none() {
+            break;
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpawnPolicy;
+
+    /// An order-sensitive test stage: transform mixes the snapshot in,
+    /// fold rotates before adding so reordered folds change the state.
+    struct Mix(u64);
+
+    impl StreamStage for Mix {
+        fn init(&self) -> u64 {
+            self.0
+        }
+        fn transform(&self, state: u64, input: u64) -> u64 {
+            (input ^ state)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15 | self.0)
+                .rotate_left(7)
+        }
+        fn fold(&self, state: u64, output: u64) -> u64 {
+            state.rotate_left(5).wrapping_add(output)
+        }
+    }
+
+    fn stages() -> Vec<Arc<dyn StreamStage>> {
+        vec![Arc::new(Mix(1)), Arc::new(Mix(2)), Arc::new(Mix(3))]
+    }
+
+    fn source(len: u64) -> impl StreamSource {
+        move |i: u64| (i < len).then(|| i.wrapping_mul(0xd134_2543_de82_ef95) ^ 0xabcd)
+    }
+
+    fn config() -> EpochConfig {
+        EpochConfig {
+            epoch_items: 8,
+            window: 3,
+            ..EpochConfig::default()
+        }
+    }
+
+    #[test]
+    fn engine_matches_sequential_reference() {
+        for &policy in SpawnPolicy::ALL.iter() {
+            let rt = Arc::new(Runtime::builder().threads(2).policy(policy).build());
+            let mut engine = StreamEngine::new(rt, stages(), config());
+            let src = source(29); // ragged final epoch
+            let report = engine.run(&src).expect("fault-free run commits");
+            assert_eq!(report.epochs_committed, 4);
+            assert_eq!(report.items, 29);
+            assert_eq!(report.retries, 0);
+            engine.store().validate().expect("log invariants");
+            assert_eq!(
+                engine.committed_states(),
+                sequential_reference(&stages(), &src, 8),
+                "policy {policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_epochs_is_incremental_and_stops_at_source_end() {
+        let rt = Arc::new(Runtime::new(2));
+        let mut engine = StreamEngine::new(rt, stages(), config());
+        let src = source(20);
+        let r1 = engine.run_epochs(&src, 1).unwrap();
+        assert_eq!((r1.epochs_committed, r1.items), (1, 8));
+        assert_eq!(engine.next_item(), 8);
+        let r2 = engine.run_epochs(&src, 10).unwrap();
+        assert_eq!((r2.epochs_committed, r2.items), (2, 12));
+        assert_eq!(
+            engine.committed_states(),
+            sequential_reference(&stages(), &src, 8)
+        );
+        // Exhausted source: further runs are no-ops.
+        let r3 = engine.run(&src).unwrap();
+        assert_eq!(r3, EngineReport::default());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_resume_continues() {
+        let rt = Arc::new(Runtime::new(2));
+        let src = source(24);
+        let mut engine = StreamEngine::new(Arc::clone(&rt), stages(), config());
+        engine.run_epochs(&src, 2).unwrap();
+        let words = engine.store().encode();
+        let decoded = CheckpointStore::decode(&words).expect("round trip");
+        assert_eq!(&decoded, engine.store());
+
+        // "Restart the process": a fresh engine resumes from the decoded
+        // log and finishes the stream identically.
+        let mut resumed = StreamEngine::resume(rt, stages(), config(), decoded).expect("resumable");
+        assert_eq!(resumed.next_item(), 16);
+        resumed.run(&src).unwrap();
+        assert_eq!(
+            resumed.committed_states(),
+            sequential_reference(&stages(), &src, 8)
+        );
+        assert_eq!(resumed.store().len(), 3);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_streams() {
+        assert!(CheckpointStore::decode(&[]).is_err());
+        assert!(CheckpointStore::decode(&[1, 2, 3, 4]).is_err());
+        let rt = Arc::new(Runtime::new(1));
+        let mut engine = StreamEngine::new(rt, stages(), config());
+        engine.run_epochs(&source(8), 1).unwrap();
+        let mut words = engine.store().encode();
+        let ok = CheckpointStore::decode(&words).unwrap();
+        assert_eq!(ok.fingerprint(), engine.store().fingerprint());
+        words.pop();
+        assert!(CheckpointStore::decode(&words).is_err(), "truncated");
+        let mut bad_version = engine.store().encode();
+        bad_version[1] = 99;
+        assert!(CheckpointStore::decode(&bad_version).is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_stats_but_sees_state() {
+        let rt = Arc::new(Runtime::new(2));
+        let mut engine = StreamEngine::new(rt, stages(), config());
+        engine.run_epochs(&source(8), 1).unwrap();
+        let mut store = engine.store().clone();
+        let fp = store.fingerprint();
+        store.log[0].stats.steals += 17;
+        assert_eq!(store.fingerprint(), fp, "stats are diagnostics");
+        store.log[0].stage_states[0] ^= 1;
+        assert_ne!(store.fingerprint(), fp, "state changes are visible");
+    }
+
+    #[test]
+    fn resume_rejects_wrong_stage_count() {
+        let rt = Arc::new(Runtime::new(1));
+        let mut engine = StreamEngine::new(Arc::clone(&rt), stages(), config());
+        engine.run_epochs(&source(8), 1).unwrap();
+        let store = engine.into_store();
+        let two: Vec<Arc<dyn StreamStage>> = vec![Arc::new(Mix(1)), Arc::new(Mix(2))];
+        assert!(StreamEngine::resume(rt, two, config(), store).is_err());
+    }
+}

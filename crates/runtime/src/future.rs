@@ -2,6 +2,55 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a future's body never produced a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task body panicked; the payload's message (when it was a
+    /// string) is preserved. The panic was contained on the worker — the
+    /// pool stays live.
+    Panicked(String),
+    /// The worker that dequeued the task was killed (by the fault
+    /// injector) before running the body.
+    WorkerKilled,
+}
+
+impl TaskError {
+    pub(crate) fn from_panic(payload: Box<dyn std::any::Any + Send>) -> TaskError {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        TaskError::Panicked(msg)
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::WorkerKilled => write!(f, "worker killed before running the task"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// The result of a bounded touch ([`Future::touch_within`]).
+#[derive(Debug)]
+pub enum TouchOutcome<T> {
+    /// The value arrived within the deadline.
+    Ready(T),
+    /// The task failed (panic or killed worker) within the deadline.
+    Failed(TaskError),
+    /// The deadline passed; the handle is returned so the caller can
+    /// retry, keep waiting, or drop it (abandoning the result).
+    Pending(Future<T>),
+}
 
 /// The shared completion slot of a future.
 pub(crate) struct FutureState<T> {
@@ -12,7 +61,26 @@ pub(crate) struct FutureState<T> {
 enum Slot<T> {
     Pending,
     Done(T),
+    Failed(TaskError),
     Taken,
+}
+
+impl<T> Slot<T> {
+    fn is_settled(&self) -> bool {
+        matches!(self, Slot::Done(_) | Slot::Failed(_))
+    }
+
+    /// Takes a settled slot's outcome, leaving `Taken`.
+    fn take_settled(&mut self) -> Option<Result<T, TaskError>> {
+        if !self.is_settled() {
+            return None;
+        }
+        match std::mem::replace(self, Slot::Taken) {
+            Slot::Done(v) => Some(Ok(v)),
+            Slot::Failed(e) => Some(Err(e)),
+            _ => unreachable!(),
+        }
+    }
 }
 
 impl<T> FutureState<T> {
@@ -38,35 +106,56 @@ impl<T> FutureState<T> {
         self.cond.notify_all();
     }
 
-    /// Whether the value has been produced (and not yet taken).
-    pub(crate) fn is_done(&self) -> bool {
-        matches!(*self.slot.lock(), Slot::Done(_))
+    /// Marks the future failed (panicked body or killed worker) and wakes
+    /// any blocked toucher.
+    ///
+    /// # Panics
+    /// Panics if the future was already completed.
+    pub(crate) fn fail(&self, err: TaskError) {
+        let mut slot = self.slot.lock();
+        match *slot {
+            Slot::Pending => *slot = Slot::Failed(err),
+            _ => panic!("future completed twice"),
+        }
+        drop(slot);
+        self.cond.notify_all();
     }
 
-    /// Takes the value if it is ready.
-    pub(crate) fn try_take(&self) -> Option<T> {
+    /// Whether the outcome has been produced (and not yet taken).
+    pub(crate) fn is_done(&self) -> bool {
+        self.slot.lock().is_settled()
+    }
+
+    /// Takes the outcome if the future has settled.
+    pub(crate) fn try_take(&self) -> Option<Result<T, TaskError>> {
+        self.slot.lock().take_settled()
+    }
+
+    /// Blocks the calling thread until the future settles and takes the
+    /// outcome.
+    pub(crate) fn wait_take(&self) -> Result<T, TaskError> {
         let mut slot = self.slot.lock();
-        if matches!(*slot, Slot::Done(_)) {
-            match std::mem::replace(&mut *slot, Slot::Taken) {
-                Slot::Done(v) => Some(v),
-                _ => unreachable!(),
+        loop {
+            if let Some(outcome) = slot.take_settled() {
+                return outcome;
             }
-        } else {
-            None
+            self.cond.wait(&mut slot);
         }
     }
 
-    /// Blocks the calling thread until the value is ready and takes it.
-    pub(crate) fn wait_take(&self) -> T {
+    /// Blocks until the future settles or `timeout` elapses.
+    pub(crate) fn wait_take_for(&self, timeout: Duration) -> Option<Result<T, TaskError>> {
+        let deadline = Instant::now() + timeout;
         let mut slot = self.slot.lock();
         loop {
-            if matches!(*slot, Slot::Done(_)) {
-                match std::mem::replace(&mut *slot, Slot::Taken) {
-                    Slot::Done(v) => return v,
-                    _ => unreachable!(),
-                }
+            if let Some(outcome) = slot.take_settled() {
+                return Some(outcome);
             }
-            self.cond.wait(&mut slot);
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cond.wait_for(&mut slot, deadline - now);
         }
     }
 }
@@ -86,7 +175,7 @@ pub struct Future<T> {
 }
 
 impl<T: Send + 'static> Future<T> {
-    /// Whether the result is already available (touching would not block).
+    /// Whether the outcome is already available (touching would not block).
     pub fn is_ready(&self) -> bool {
         self.state.is_done()
     }
@@ -95,8 +184,34 @@ impl<T: Send + 'static> Future<T> {
     /// it is not ready (work-stealing "help-first" waiting), and returns it.
     ///
     /// Consuming `self` makes a second touch a compile-time error.
+    ///
+    /// # Panics
+    /// Panics if the task failed — its body panicked (the contained panic
+    /// resurfaces here, at the synchronization point) or its worker was
+    /// killed. Use [`Future::touch_result`] to observe failure as a value.
     pub fn touch(self) -> T {
+        match self.touch_result() {
+            Ok(v) => v,
+            Err(e) => panic!("touched a failed future: {e}"),
+        }
+    }
+
+    /// Like [`Future::touch`], but surfaces task failure (panicked body,
+    /// killed worker) as an [`Err`] instead of panicking.
+    pub fn touch_result(self) -> Result<T, TaskError> {
         crate::pool::Inner::touch(&self.runtime, &self.state)
+    }
+
+    /// Waits for the outcome at most `timeout` (helping to run tasks on a
+    /// worker thread, blocking elsewhere). On timeout the handle is
+    /// returned inside [`TouchOutcome::Pending`], so the single-touch
+    /// discipline is preserved across retries.
+    pub fn touch_within(self, timeout: Duration) -> TouchOutcome<T> {
+        match crate::pool::Inner::touch_within(&self.runtime, &self.state, timeout) {
+            Some(Ok(v)) => TouchOutcome::Ready(v),
+            Some(Err(e)) => TouchOutcome::Failed(e),
+            None => TouchOutcome::Pending(self),
+        }
     }
 }
 
@@ -119,8 +234,17 @@ mod tests {
         assert!(s.try_take().is_none());
         s.complete(41);
         assert!(s.is_done());
-        assert_eq!(s.try_take(), Some(41));
+        assert_eq!(s.try_take(), Some(Ok(41)));
         assert!(!s.is_done(), "taking empties the slot");
+        assert!(s.try_take().is_none());
+    }
+
+    #[test]
+    fn fail_then_take() {
+        let s = FutureState::<u32>::new();
+        s.fail(TaskError::WorkerKilled);
+        assert!(s.is_done(), "a failed future is settled");
+        assert_eq!(s.try_take(), Some(Err(TaskError::WorkerKilled)));
         assert!(s.try_take().is_none());
     }
 
@@ -131,7 +255,28 @@ mod tests {
         let handle = std::thread::spawn(move || s2.wait_take());
         std::thread::sleep(std::time::Duration::from_millis(20));
         s.complete("done".to_string());
-        assert_eq!(handle.join().unwrap(), "done");
+        assert_eq!(handle.join().unwrap(), Ok("done".to_string()));
+    }
+
+    #[test]
+    fn wait_take_for_times_out_then_succeeds() {
+        let s = FutureState::<u32>::new();
+        assert!(s.wait_take_for(Duration::from_millis(5)).is_none());
+        s.complete(7);
+        assert_eq!(s.wait_take_for(Duration::from_millis(5)), Some(Ok(7)));
+    }
+
+    #[test]
+    fn wait_take_wakes_on_failure() {
+        let s = FutureState::<u32>::new();
+        let s2 = Arc::clone(&s);
+        let handle = std::thread::spawn(move || s2.wait_take());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        s.fail(TaskError::Panicked("boom".into()));
+        assert_eq!(
+            handle.join().unwrap(),
+            Err(TaskError::Panicked("boom".into()))
+        );
     }
 
     #[test]
@@ -140,5 +285,25 @@ mod tests {
         let s = FutureState::new();
         s.complete(1);
         s.complete(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "future completed twice")]
+    fn fail_after_complete_panics() {
+        let s = FutureState::new();
+        s.complete(1);
+        s.fail(TaskError::WorkerKilled);
+    }
+
+    #[test]
+    fn task_error_display() {
+        assert_eq!(
+            TaskError::Panicked("x".into()).to_string(),
+            "task panicked: x"
+        );
+        assert_eq!(
+            TaskError::WorkerKilled.to_string(),
+            "worker killed before running the task"
+        );
     }
 }

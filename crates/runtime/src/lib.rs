@@ -37,14 +37,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod epoch;
+mod faultd;
 mod future;
 mod policy;
 mod pool;
 mod stats;
 
-pub use future::Future;
+pub use epoch::{
+    sequential_reference, Checkpoint, CheckpointStore, EngineError, EngineReport, EpochConfig,
+    StreamEngine, StreamSource, StreamStage,
+};
+pub use faultd::{FaultAction, FaultHooks, FaultPlan, FaultSpec};
+pub use future::{Future, TaskError, TouchOutcome};
 pub use policy::SpawnPolicy;
-pub use pool::{Runtime, RuntimeBuilder};
+pub use pool::{HungWorker, Runtime, RuntimeBuilder, ShutdownError};
 pub use stats::RuntimeStats;
 
 #[cfg(test)]

@@ -16,6 +16,14 @@
 /// common depth-first case) and `HelperFirst` by always deferring the body
 /// to the deque. `Runtime::join` always uses the child-first discipline,
 /// exactly like Cilk's spawn/sync.
+///
+/// Fault-injection note: dequeue-time faults (`faultd`'s task panic /
+/// worker kill) apply to *queued* tasks. A child-first future that runs
+/// inline at spawn never crosses a queue, so under `ChildFirst` the
+/// injectable surface is the non-inline residue (deep spawns past the
+/// inline depth limit, external submissions), while under `HelperFirst`
+/// every future is injectable. The crash-recovery tests therefore run
+/// their seeded fault schedules under both variants.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SpawnPolicy {
     /// Run spawned futures eagerly (future-first / work-first).

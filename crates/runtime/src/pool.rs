@@ -1,20 +1,53 @@
 //! The work-stealing thread pool.
 
-use crate::future::{Future, FutureState};
+use crate::faultd::{FaultAction, FaultHooks};
+use crate::future::{Future, FutureState, TaskError};
 use crate::policy::SpawnPolicy;
 use crate::stats::{AtomicStats, RuntimeStats};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wsf_deque::{deque, Injector, Steal, Stealer, Worker};
 
 /// A unit of work queued on the pool.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Where a worker currently is, for the shutdown watchdog's diagnosis.
+/// Stored relaxed in `Inner::worker_sites`; purely informational.
+const SITE_LAUNCHING: u8 = 0;
+const SITE_SCANNING: u8 = 1;
+const SITE_EXECUTING: u8 = 2;
+const SITE_PARKED: u8 = 3;
+const SITE_DEAD: u8 = 4;
+
+fn site_label(site: u8) -> &'static str {
+    match site {
+        SITE_SCANNING => "scanning its deque/injector for work",
+        SITE_EXECUTING => "executing a task",
+        SITE_PARKED => "parked on the idle condvar",
+        SITE_DEAD => "exited",
+        _ => "launching",
+    }
+}
+
+/// A fault the worker loop has scheduled for the task it is about to run;
+/// consumed by the task wrapper (see `make_task`).
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum InjectedFault {
+    None,
+    Panic,
+    Kill,
+}
+
+thread_local! {
+    static INJECTED: Cell<InjectedFault> = const { Cell::new(InjectedFault::None) };
+}
 
 /// Shared state of the pool, visible to every worker and to external
 /// threads holding futures.
@@ -38,6 +71,18 @@ pub(crate) struct Inner {
     shutdown: AtomicBool,
     policy: SpawnPolicy,
     inline_depth_limit: usize,
+    /// Fault-injection hooks; `None` (the default) costs one never-taken
+    /// branch per dispatch site.
+    hooks: Option<Arc<dyn FaultHooks>>,
+    /// Workers still running their loop. Decremented on shutdown *and*
+    /// when the fault injector kills a worker permanently; a task can
+    /// strand (never be executed) only once this reaches zero.
+    live_workers: AtomicUsize,
+    /// Global dequeued-task sequence number, advanced only when fault
+    /// hooks are installed; the coordinate system of seeded fault plans.
+    task_seq: AtomicU64,
+    /// Per-worker location tags for the shutdown watchdog (`SITE_*`).
+    worker_sites: Vec<AtomicU8>,
     pub(crate) stats: AtomicStats,
 }
 
@@ -46,7 +91,7 @@ struct WorkerLocal {
     index: usize,
     worker: Worker<Task>,
     rng: RefCell<SmallRng>,
-    inline_depth: std::cell::Cell<usize>,
+    inline_depth: Cell<usize>,
 }
 
 thread_local! {
@@ -61,6 +106,42 @@ fn with_worker<R>(inner: &Arc<Inner>, f: impl FnOnce(&WorkerLocal) -> R) -> Opti
         match borrow.as_ref() {
             Some(w) if Arc::ptr_eq(&w.inner, inner) => Some(f(w)),
             _ => None,
+        }
+    })
+}
+
+/// Wraps a future body into a queued task: consumes any injected fault,
+/// contains panics with `catch_unwind`, and settles the future exactly
+/// once — with the value, or with a [`TaskError`] describing the failure.
+/// A panicking body therefore never unwinds through (and never loses) the
+/// worker thread; the panic resurfaces at the touch point instead.
+fn make_task<T, F>(inner: &Arc<Inner>, state: &Arc<FutureState<T>>, f: F) -> Task
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let state = Arc::clone(state);
+    let inner = Arc::clone(inner);
+    Box::new(move || {
+        let fault = INJECTED.replace(InjectedFault::None);
+        if fault == InjectedFault::Kill {
+            // The worker "crashed" before running the body: fail the
+            // future so touchers learn of the loss instead of hanging.
+            state.fail(TaskError::WorkerKilled);
+            return;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if fault == InjectedFault::Panic {
+                panic!("wsf-faultd: injected task panic");
+            }
+            f()
+        }));
+        match result {
+            Ok(v) => state.complete(v),
+            Err(payload) => {
+                inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                state.fail(TaskError::from_panic(payload));
+            }
         }
     })
 }
@@ -82,6 +163,10 @@ impl Inner {
 
     fn pop_injector(&self) -> Option<Task> {
         self.injector.steal()
+    }
+
+    fn set_site(&self, index: usize, site: u8) {
+        self.worker_sites[index].store(site, Ordering::Relaxed);
     }
 
     /// Finds a task for the worker `index`: its own deque first, then the
@@ -126,21 +211,34 @@ impl Inner {
 
     fn run_task(self: &Arc<Self>, task: Task) {
         self.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
-        task();
+        // Backstop only: every queued task is a `make_task` wrapper that
+        // contains its own panics, so this catch should never observe one.
+        // It exists so a future wrapper bug still cannot unwind through
+        // (and silently lose) a worker thread.
+        if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            self.stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// The waiting side of [`Future::touch`]: help run tasks until the
-    /// future completes (on a worker thread), or block (elsewhere).
-    pub(crate) fn touch<T: Send + 'static>(inner: &Arc<Inner>, state: &Arc<FutureState<T>>) -> T {
+    /// The waiting side of [`Future::touch_result`]: help run tasks until
+    /// the future settles (on a worker thread), or block (elsewhere).
+    ///
+    /// Blocks indefinitely if the future's task strands — possible only
+    /// once every worker has been killed; bounded waiting is
+    /// [`Inner::touch_within`].
+    pub(crate) fn touch<T: Send + 'static>(
+        inner: &Arc<Inner>,
+        state: &Arc<FutureState<T>>,
+    ) -> Result<T, TaskError> {
         inner.stats.touches.fetch_add(1, Ordering::Relaxed);
-        if let Some(v) = state.try_take() {
-            return v;
+        if let Some(outcome) = state.try_take() {
+            return outcome;
         }
         let on_worker = with_worker(inner, |_| ()).is_some();
         if on_worker {
             loop {
-                if let Some(v) = state.try_take() {
-                    return v;
+                if let Some(outcome) = state.try_take() {
+                    return outcome;
                 }
                 let task = with_worker(inner, |local| inner.find_task(local)).flatten();
                 match task {
@@ -149,8 +247,8 @@ impl Inner {
                         inner.run_task(t);
                     }
                     None => {
-                        if let Some(v) = state.try_take() {
-                            return v;
+                        if let Some(outcome) = state.try_take() {
+                            return outcome;
                         }
                         std::thread::yield_now();
                     }
@@ -161,30 +259,97 @@ impl Inner {
         }
     }
 
+    /// Bounded-deadline variant of [`Inner::touch`]: returns `None` when
+    /// `timeout` elapses before the future settles. A touch is counted
+    /// only when an outcome is actually taken, so retried bounded touches
+    /// do not inflate `RuntimeStats::touches`.
+    pub(crate) fn touch_within<T: Send + 'static>(
+        inner: &Arc<Inner>,
+        state: &Arc<FutureState<T>>,
+        timeout: Duration,
+    ) -> Option<Result<T, TaskError>> {
+        let deadline = Instant::now() + timeout;
+        let on_worker = with_worker(inner, |_| ()).is_some();
+        let outcome = if on_worker {
+            loop {
+                if let Some(outcome) = state.try_take() {
+                    break Some(outcome);
+                }
+                if Instant::now() >= deadline {
+                    break None;
+                }
+                let task = with_worker(inner, |local| inner.find_task(local)).flatten();
+                match task {
+                    Some(t) => {
+                        inner.stats.helped_tasks.fetch_add(1, Ordering::Relaxed);
+                        inner.run_task(t);
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        } else {
+            state.wait_take_for(timeout)
+        };
+        if outcome.is_some() {
+            inner.stats.touches.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
     fn worker_loop(self: Arc<Self>, index: usize, worker: Worker<Task>) {
         let local = WorkerLocal {
             inner: Arc::clone(&self),
             index,
             worker,
             rng: RefCell::new(SmallRng::seed_from_u64(0x9e3779b97f4a7c15 ^ index as u64)),
-            inline_depth: std::cell::Cell::new(0),
+            inline_depth: Cell::new(0),
         };
         CURRENT.with(|c| *c.borrow_mut() = Some(local));
+        let mut killed = false;
 
         loop {
+            self.set_site(index, SITE_SCANNING);
             let task = CURRENT.with(|c| {
                 let borrow = c.borrow();
                 let local = borrow.as_ref().expect("worker context installed");
                 self.find_task(local)
             });
             match task {
-                Some(t) => self.run_task(t),
+                Some(t) => {
+                    let action = match &self.hooks {
+                        Some(h) => h.on_task(index, self.task_seq.fetch_add(1, Ordering::Relaxed)),
+                        None => FaultAction::None,
+                    };
+                    self.set_site(index, SITE_EXECUTING);
+                    match action {
+                        FaultAction::None => self.run_task(t),
+                        FaultAction::StallTask(delay) => {
+                            std::thread::sleep(delay);
+                            self.run_task(t);
+                        }
+                        FaultAction::PanicTask => {
+                            INJECTED.set(InjectedFault::Panic);
+                            self.run_task(t);
+                            INJECTED.set(InjectedFault::None);
+                        }
+                        FaultAction::KillWorker => {
+                            INJECTED.set(InjectedFault::Kill);
+                            self.run_task(t);
+                            INJECTED.set(InjectedFault::None);
+                            killed = true;
+                        }
+                    }
+                    if killed {
+                        break;
+                    }
+                }
                 None => {
                     if self.shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     let mut guard = self.idle_mutex.lock();
                     self.idle_workers.fetch_add(1, Ordering::SeqCst);
+                    self.set_site(index, SITE_PARKED);
                     // Re-check under the lock so a notify between the failed
                     // find and this wait is not lost for long (and the
                     // bounded wait caps the one remaining race: a push that
@@ -194,20 +359,47 @@ impl Inner {
                             .wait_for(&mut guard, Duration::from_millis(1));
                     }
                     self.idle_workers.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                    if let Some(h) = &self.hooks {
+                        if let Some(delay) = h.on_wakeup(index) {
+                            std::thread::sleep(delay);
+                        }
+                    }
                 }
             }
         }
 
+        // Exit path: clean shutdown, or killed by the fault injector. The
+        // dead worker's deque stays stealable (the pool holds its
+        // `Stealer`), so its queued tasks are not lost — the pool degrades
+        // to the surviving workers.
+        self.set_site(index, SITE_DEAD);
+        if killed {
+            self.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        }
+        self.live_workers.fetch_sub(1, Ordering::SeqCst);
         CURRENT.with(|c| *c.borrow_mut() = None);
     }
 }
 
 /// Configures and builds a [`Runtime`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RuntimeBuilder {
     threads: usize,
     policy: SpawnPolicy,
     inline_depth_limit: usize,
+    hooks: Option<Arc<dyn FaultHooks>>,
+}
+
+impl std::fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("threads", &self.threads)
+            .field("policy", &self.policy)
+            .field("inline_depth_limit", &self.inline_depth_limit)
+            .field("fault_hooks", &self.hooks.is_some())
+            .finish()
+    }
 }
 
 impl Default for RuntimeBuilder {
@@ -218,6 +410,7 @@ impl Default for RuntimeBuilder {
                 .unwrap_or(1),
             policy: SpawnPolicy::ChildFirst,
             inline_depth_limit: 128,
+            hooks: None,
         }
     }
 }
@@ -242,6 +435,14 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Installs fault-injection hooks (see [`FaultHooks`]). Without
+    /// this call the runtime pays one never-taken branch per dispatch
+    /// site and the task sequence counter is never advanced.
+    pub fn fault_hooks(mut self, hooks: Arc<dyn FaultHooks>) -> Self {
+        self.hooks = Some(hooks);
+        self
+    }
+
     /// Builds the runtime, spawning its worker threads.
     pub fn build(self) -> Runtime {
         let mut workers = Vec::with_capacity(self.threads);
@@ -251,15 +452,30 @@ impl RuntimeBuilder {
             workers.push(w);
             stealers.push(s);
         }
+        let injector = Injector::new();
+        if let Some(hooks) = &self.hooks {
+            let hooks = Arc::clone(hooks);
+            injector.install_stall_hook(move |site| {
+                if let Some(delay) = hooks.on_injector(site) {
+                    std::thread::sleep(delay);
+                }
+            });
+        }
         let inner = Arc::new(Inner {
             stealers,
-            injector: Injector::new(),
+            injector,
             idle_mutex: Mutex::new(()),
             idle_cond: Condvar::new(),
             idle_workers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             policy: self.policy,
             inline_depth_limit: self.inline_depth_limit,
+            hooks: self.hooks,
+            live_workers: AtomicUsize::new(self.threads),
+            task_seq: AtomicU64::new(0),
+            worker_sites: (0..self.threads)
+                .map(|_| AtomicU8::new(SITE_LAUNCHING))
+                .collect(),
             stats: AtomicStats::default(),
         });
         let handles = workers
@@ -276,6 +492,38 @@ impl RuntimeBuilder {
         Runtime { inner, handles }
     }
 }
+
+/// A worker that had not exited when [`Runtime::shutdown_timeout`] gave up.
+#[derive(Clone, Debug)]
+pub struct HungWorker {
+    /// Index of the hung worker thread.
+    pub index: usize,
+    /// Where the worker was last observed (which deque/injector scan,
+    /// task execution, or condvar park it was in).
+    pub site: &'static str,
+}
+
+/// Returned by [`Runtime::shutdown_timeout`] when workers failed to exit
+/// within the deadline. The hung workers are left detached (the error
+/// does not block on them), with their last observed locations for
+/// diagnosis.
+#[derive(Clone, Debug)]
+pub struct ShutdownError {
+    /// The workers that never exited, with their last observed sites.
+    pub hung: Vec<HungWorker>,
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shutdown timed out; {} worker(s) hung:", self.hung.len())?;
+        for w in &self.hung {
+            write!(f, " worker {} ({});", w.index, w.site)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ShutdownError {}
 
 /// A work-stealing thread pool with structured single-touch futures.
 ///
@@ -305,9 +553,17 @@ impl Runtime {
         RuntimeBuilder::default()
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool was built with.
     pub fn num_threads(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Number of workers still running (smaller than
+    /// [`Runtime::num_threads`] once the fault injector has killed
+    /// workers). When it reaches zero, queued tasks can no longer be
+    /// executed by the pool — callers should degrade to inline execution.
+    pub fn live_workers(&self) -> usize {
+        self.inner.live_workers.load(Ordering::SeqCst)
     }
 
     /// The configured spawn policy.
@@ -351,16 +607,22 @@ impl Runtime {
 
         if run_inline {
             // Future-first: evaluate the future body now, on the creating
-            // worker, before the parent's continuation.
+            // worker, before the parent's continuation. Panics are
+            // contained here exactly as on the queued path, so inline and
+            // deferred futures fail identically (at the touch point).
             self.inner.stats.inline_runs.fetch_add(1, Ordering::Relaxed);
-            state.complete(f());
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => state.complete(v),
+                Err(payload) => {
+                    self.inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    state.fail(TaskError::from_panic(payload));
+                }
+            }
             with_worker(&self.inner, |local| {
                 local.inline_depth.set(local.inline_depth.get() - 1);
             });
         } else {
-            let task_state = Arc::clone(&state);
-            let task: Task = Box::new(move || task_state.complete(f()));
-            self.push_task(task);
+            self.push_task(make_task(&self.inner, &state, f));
         }
 
         Future {
@@ -399,13 +661,51 @@ impl Runtime {
             .futures_created
             .fetch_add(1, Ordering::Relaxed);
         let state = FutureState::new();
-        let task_state = Arc::clone(&state);
-        let task: Task = Box::new(move || task_state.complete(f()));
-        self.push_task(task);
+        self.push_task(make_task(&self.inner, &state, f));
         Future {
             state,
             runtime: Arc::clone(&self.inner),
         }
+    }
+
+    /// Shuts the pool down, waiting at most `timeout` for the workers to
+    /// exit. On success returns the final counter snapshot. If a worker
+    /// is hung (stalled in a task, or wedged on a queue), the error names
+    /// each hung worker and the site it was last observed at — and the
+    /// hung threads are *detached*, so neither this call nor the
+    /// subsequent drop blocks on them.
+    pub fn shutdown_timeout(mut self, timeout: Duration) -> Result<RuntimeStats, ShutdownError> {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.idle_cond.notify_all();
+        let deadline = Instant::now() + timeout;
+        while self.handles.iter().any(|h| !h.is_finished()) {
+            if Instant::now() >= deadline {
+                let hung: Vec<HungWorker> = self
+                    .handles
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| !h.is_finished())
+                    .map(|(index, _)| HungWorker {
+                        index,
+                        site: site_label(self.inner.worker_sites[index].load(Ordering::Relaxed)),
+                    })
+                    .collect();
+                let err = ShutdownError { hung };
+                eprintln!("wsf-runtime: {err}");
+                // Detach: dropping the handles lets the process exit (or
+                // the caller proceed) without joining the hung threads.
+                self.handles.clear();
+                return Err(err);
+            }
+            // Keep nudging parked workers; their bounded wait re-checks
+            // `shutdown` on every 1 ms tick anyway.
+            self.inner.idle_cond.notify_all();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        Ok(self.inner.stats.snapshot())
     }
 
     fn push_task(&self, task: Task) {

@@ -13,6 +13,8 @@ pub(crate) struct AtomicStats {
     pub inline_runs: AtomicU64,
     pub helped_tasks: AtomicU64,
     pub wakeups: AtomicU64,
+    pub panics: AtomicU64,
+    pub worker_deaths: AtomicU64,
 }
 
 impl AtomicStats {
@@ -26,6 +28,8 @@ impl AtomicStats {
             inline_runs: self.inline_runs.load(Ordering::Relaxed),
             helped_tasks: self.helped_tasks.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
         }
     }
 }
@@ -58,6 +62,14 @@ pub struct RuntimeStats {
     /// instead of multiplying by the worker count (the pre-fix
     /// `notify_all`-per-push thundering herd).
     pub wakeups: u64,
+    /// Task-body panics contained by the workers' `catch_unwind`. Each one
+    /// fails its future with [`crate::TaskError::Panicked`] instead of
+    /// unwinding through (and losing) the worker thread.
+    pub panics: u64,
+    /// Workers killed permanently by the fault injector. The pool degrades
+    /// to the surviving workers; the dead worker's queued tasks remain
+    /// stealable.
+    pub worker_deaths: u64,
 }
 
 impl RuntimeStats {
@@ -72,6 +84,8 @@ impl RuntimeStats {
             inline_runs: self.inline_runs.saturating_sub(earlier.inline_runs),
             helped_tasks: self.helped_tasks.saturating_sub(earlier.helped_tasks),
             wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            panics: self.panics.saturating_sub(earlier.panics),
+            worker_deaths: self.worker_deaths.saturating_sub(earlier.worker_deaths),
         }
     }
 

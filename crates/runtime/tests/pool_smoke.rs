@@ -2,9 +2,10 @@
 //! [`SpawnPolicy`] variants, checking results and the consistency of the
 //! [`RuntimeStats`] counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use wsf_runtime::{Runtime, RuntimeStats, SpawnPolicy};
+use std::time::Duration;
+use wsf_runtime::{Runtime, RuntimeStats, SpawnPolicy, TaskError};
 
 /// Recursive fork-join fib on the runtime (the canonical fan-out).
 fn fib(rt: &Arc<Runtime>, n: u64) -> u64 {
@@ -74,6 +75,13 @@ fn assert_stats_consistent(stats: &RuntimeStats, context: &str) {
         "{context}: {} wakeups exceed {} queued tasks — the herd is back",
         stats.wakeups,
         queued
+    );
+    // Every contained panic belongs to some future body.
+    assert!(
+        stats.panics <= stats.futures_created,
+        "{context}: {} panics exceed {} created futures",
+        stats.panics,
+        stats.futures_created
     );
 }
 
@@ -257,6 +265,131 @@ fn parked_workers_are_woken_one_per_task() {
         stats.futures_created - stats.inline_runs
     );
     assert_stats_consistent(&stats, "parked wakeups");
+}
+
+#[test]
+fn panicking_task_is_contained_and_pool_stays_live() {
+    // Regression: a panicking task body used to unwind straight through
+    // its worker thread, killing it silently. The panic must be contained,
+    // surfaced as a TaskError at the touch point, counted in
+    // `RuntimeStats::panics` — and the pool must keep serving work.
+    for policy in SpawnPolicy::ALL {
+        let rt = Arc::new(Runtime::builder().threads(2).policy(policy).build());
+
+        let bad = rt.spawn_future(|| -> u64 { panic!("intentional test panic") });
+        match bad.touch_result() {
+            Err(TaskError::Panicked(msg)) => {
+                assert!(
+                    msg.contains("intentional test panic"),
+                    "{policy}: payload message preserved, got {msg:?}"
+                );
+            }
+            other => panic!("{policy}: expected a contained panic, got {other:?}"),
+        }
+
+        let stats = rt.stats();
+        assert_eq!(stats.panics, 1, "{policy}: the panic was counted");
+        assert_eq!(rt.live_workers(), 2, "{policy}: no worker died");
+
+        // The pool still executes a full fan-out afterwards.
+        let futures: Vec<_> = (0..100u64).map(|i| rt.defer_future(move || i)).collect();
+        let sum: u64 = futures.into_iter().map(|f| f.touch()).sum();
+        assert_eq!(sum, 4950, "{policy}: pool serves work after a panic");
+        assert_stats_consistent(&rt.stats(), &format!("post-panic / {policy}"));
+
+        // And shutdown still completes promptly.
+        let rt = Arc::into_inner(rt).expect("sole owner");
+        rt.shutdown_timeout(Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{policy}: shutdown hung after a panic: {e}"));
+    }
+}
+
+#[test]
+fn inline_child_first_panic_is_contained_too() {
+    // The child-first inline fast path runs the body on the *spawning*
+    // worker; its panic must be contained identically (surfacing at the
+    // touch, not unwinding into the spawner's own task).
+    let rt = Arc::new(
+        Runtime::builder()
+            .threads(2)
+            .policy(SpawnPolicy::ChildFirst)
+            .build(),
+    );
+    let rt2 = Arc::clone(&rt);
+    let outer = rt.spawn_future(move || {
+        let inner = rt2.spawn_future(|| -> u64 { panic!("inline boom") });
+        match inner.touch_result() {
+            Err(TaskError::Panicked(msg)) => msg.contains("inline boom"),
+            _ => false,
+        }
+    });
+    assert!(
+        outer.touch(),
+        "inner panic observed as an error by the outer task"
+    );
+    assert!(rt.stats().inline_runs >= 1, "the inline path was exercised");
+    assert_eq!(rt.stats().panics, 1);
+}
+
+#[test]
+fn touch_resurfaces_the_contained_panic() {
+    // `touch()` (the panicking variant) re-raises the failure at the
+    // synchronization point — the caller that demanded the value.
+    let rt = Runtime::builder().threads(2).build();
+    let f = rt.spawn_future(|| -> u64 { panic!("resurface me") });
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.touch()));
+    let payload = caught.expect_err("touch must panic on a failed future");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("touched a failed future") && msg.contains("resurface me"),
+        "got {msg:?}"
+    );
+}
+
+#[test]
+fn shutdown_timeout_succeeds_on_an_idle_pool() {
+    let rt = Runtime::builder().threads(4).build();
+    let futures: Vec<_> = (0..50u64).map(|i| rt.defer_future(move || i)).collect();
+    let sum: u64 = futures.into_iter().map(|f| f.touch()).sum();
+    assert_eq!(sum, 1225);
+    let stats = rt
+        .shutdown_timeout(Duration::from_secs(5))
+        .expect("idle pool shuts down well before the deadline");
+    assert_eq!(stats.futures_created, 50);
+}
+
+#[test]
+fn shutdown_watchdog_names_the_hung_worker() {
+    // A task that blocks indefinitely wedges its worker; shutdown_timeout
+    // must return (not hang), name the worker, and say where it was stuck.
+    let rt = Runtime::builder().threads(2).build();
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let _stuck = rt.defer_future(move || {
+        while !g.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        0u64
+    });
+    // Let a worker dequeue the task and block in its body.
+    std::thread::sleep(Duration::from_millis(30));
+
+    let err = rt
+        .shutdown_timeout(Duration::from_millis(50))
+        .expect_err("a wedged worker must trip the watchdog");
+    assert_eq!(err.hung.len(), 1, "exactly one worker is wedged: {err}");
+    assert_eq!(err.hung[0].site, "executing a task", "{err}");
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("shutdown timed out") && rendered.contains("executing a task"),
+        "diagnostic names the site: {rendered}"
+    );
+
+    // Release the worker so the detached thread exits cleanly.
+    gate.store(true, Ordering::Release);
 }
 
 #[test]

@@ -19,6 +19,10 @@
 //! * the Theorem-16/18 super-final family — the symmetric-exchange stencil
 //!   ([`stencil::stencil_exchange`]), whose per-neighbour boundary copies
 //!   need a super final node to close the computation;
+//! * [`streaming`] — seeded replayable stream sources and order-sensitive
+//!   stage chains for the fault-tolerant epoch engine
+//!   (`wsf_runtime::StreamEngine`), feeding the crash-recovery experiment
+//!   (E18);
 //! * [`presets`] — named size presets scaling every suite family up to
 //!   ~10^6 distinct blocks.
 //!
@@ -38,3 +42,4 @@ pub mod random;
 pub mod runtime_apps;
 pub mod sort;
 pub mod stencil;
+pub mod streaming;
