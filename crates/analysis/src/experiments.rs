@@ -8,11 +8,12 @@
 
 use crate::fit::power_law_exponent;
 use crate::par::par_map;
+use crate::policy::PolicySpec;
 use crate::sweeps::{
     capacity_sweep, seed_sweep, CapacityGrid, CapacityRun, CapacitySweep, SweepConfig,
-    SweepScheduler,
 };
 use crate::table::Table;
+use crate::tournament::{policy_space, run_tournament, TournamentConfig};
 use wsf_core::{
     bounds, ExecutionReport, ForkPolicy, ParallelSimulator, Scheduler, SeqReport,
     SequentialExecutor, SimConfig,
@@ -690,23 +691,23 @@ pub fn e11_bulk_sweep(scale: Scale) -> Vec<Table> {
         seeds: scale.pick(vec![1, 2], vec![0, 1, 2, 3]),
         processors: scale.pick(vec![2, 4], vec![2, 4, 8]),
         cache_lines: scale.pick(vec![8], vec![8, 16]),
-        schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+        schedulers: vec![PolicySpec::ws_random(), PolicySpec::parsimonious()],
         ..SweepConfig::default()
     };
     vec![seed_sweep(&config)]
 }
 
-/// Runs one simulation cell under a [`SweepScheduler`] kind, sharing the
+/// Runs one simulation cell under a [`PolicySpec`], sharing the
 /// single scheduler constructor with the E11 sweep.
 fn run_with_sched(
     dag: &Dag,
     p: usize,
     c: usize,
     policy: ForkPolicy,
-    sched: SweepScheduler,
+    sched: PolicySpec,
 ) -> (SeqReport, ExecutionReport) {
     let mut s = sched.instantiate(SimConfig::default().seed);
-    run_with(dag, p, c, policy, Some(s.as_mut()))
+    run_with(dag, p, c, policy, Some(&mut s))
 }
 
 /// Formats one measurement as the standard [`THM12_COLUMNS`] row — `P`,
@@ -719,7 +720,7 @@ fn bound_verdict_columns(
     rep: &ExecutionReport,
     sp: u64,
     p: usize,
-    sched: SweepScheduler,
+    sched: PolicySpec,
     dev_bound: u64,
     miss_bound: u64,
 ) -> Vec<String> {
@@ -743,7 +744,7 @@ fn bound_verdict_columns(
 fn bound_verdict_columns_raw(
     sp: u64,
     p: usize,
-    sched: SweepScheduler,
+    sched: PolicySpec,
     deviations: u64,
     dev_bound: u64,
     extra_misses: u64,
@@ -772,7 +773,7 @@ fn thm12_columns(
     sp: u64,
     p: usize,
     c: usize,
-    sched: SweepScheduler,
+    sched: PolicySpec,
 ) -> Vec<String> {
     bound_verdict_columns(
         seq,
@@ -794,7 +795,7 @@ fn thm12_row(
     p: usize,
     c: usize,
     policy: ForkPolicy,
-    sched: SweepScheduler,
+    sched: PolicySpec,
 ) -> Vec<String> {
     let (seq, rep) = run_with_sched(dag, p, c, policy, sched);
     thm12_columns(&seq, &rep, sp, p, c, sched)
@@ -845,7 +846,7 @@ pub fn e12_dnc_sort(scale: Scale) -> Vec<Table> {
         let sp = span(&dag);
         let mut rows = Vec::new();
         for &p in &procs {
-            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+            for sched in [PolicySpec::ws_random(), PolicySpec::parsimonious()] {
                 let mut row = vec![variant.to_string(), len.to_string(), grain.to_string()];
                 row.extend(thm12_row(&dag, sp, p, c, ForkPolicy::FutureFirst, sched));
                 rows.push(row);
@@ -881,7 +882,7 @@ pub fn e13_stencil(scale: Scale) -> Vec<Table> {
         let sp = span(&dag);
         let mut out = Vec::new();
         for &p in &procs {
-            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+            for sched in [PolicySpec::ws_random(), PolicySpec::parsimonious()] {
                 let mut row = vec![rows.to_string(), width.to_string(), steps.to_string()];
                 row.extend(thm12_row(&dag, sp, p, c, ForkPolicy::FutureFirst, sched));
                 out.push(row);
@@ -931,7 +932,7 @@ pub fn e14_backpressure(scale: Scale) -> Vec<Table> {
         let mut out = Vec::new();
         for policy in ForkPolicy::ALL {
             for &p in &procs {
-                for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+                for sched in [PolicySpec::ws_random(), PolicySpec::parsimonious()] {
                     let (seq, rep) = run_with_sched(&dag, p, c, policy, sched);
                     let dev_bound = match policy {
                         ForkPolicy::FutureFirst => bounds::thm12_deviations(p as u64, sp),
@@ -1032,7 +1033,7 @@ pub fn e15_cache_capacity_with_grid(scale: Scale, grid: &CapacityGrid) -> Vec<Ta
             &dag,
             ForkPolicy::FutureFirst,
             &procs,
-            &[SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+            &[PolicySpec::ws_random(), PolicySpec::parsimonious()],
         );
         let mut out = Vec::new();
         for &c in grid.capacities() {
@@ -1092,7 +1093,7 @@ pub fn e15_cache_capacity_per_c(scale: Scale, grid: &CapacityGrid) -> Vec<Table>
         let mut scratch = wsf_core::SimScratch::new();
         let mut out = Vec::new();
         for &p in &procs {
-            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+            for sched in [PolicySpec::ws_random(), PolicySpec::parsimonious()] {
                 let cfg = SimConfig {
                     processors: p,
                     ..base
@@ -1101,7 +1102,7 @@ pub fn e15_cache_capacity_per_c(scale: Scale, grid: &CapacityGrid) -> Vec<Table>
                 let rep = ParallelSimulator::new(cfg).run_with_scratch(
                     &dag,
                     &seq,
-                    s.as_mut(),
+                    &mut s,
                     false,
                     &mut scratch,
                 );
@@ -1190,7 +1191,7 @@ pub fn e16_exchange_stencil_with_grid(scale: Scale, grid: &CapacityGrid) -> Vec<
             &dag,
             ForkPolicy::FutureFirst,
             &procs,
-            &[SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+            &[PolicySpec::ws_random(), PolicySpec::parsimonious()],
         );
         let mut out = Vec::new();
         for &c in grid.capacities() {
@@ -1247,7 +1248,7 @@ pub fn e16_exchange_stencil_per_c(scale: Scale, grid: &CapacityGrid) -> Vec<Tabl
         let mut scratch = wsf_core::SimScratch::new();
         let mut out = Vec::new();
         for &p in &procs {
-            for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+            for sched in [PolicySpec::ws_random(), PolicySpec::parsimonious()] {
                 let cfg = SimConfig {
                     processors: p,
                     ..base
@@ -1256,7 +1257,7 @@ pub fn e16_exchange_stencil_per_c(scale: Scale, grid: &CapacityGrid) -> Vec<Tabl
                 let rep = ParallelSimulator::new(cfg).run_with_scratch(
                     &dag,
                     &seq,
-                    s.as_mut(),
+                    &mut s,
                     false,
                     &mut scratch,
                 );
@@ -1289,7 +1290,7 @@ fn thm16_18_columns(
     sp: u64,
     p: usize,
     c: usize,
-    sched: SweepScheduler,
+    sched: PolicySpec,
     single_touch: bool,
 ) -> Vec<String> {
     let (dev_bound, miss_bound) = thm16_18_bounds(p, c, sp, single_touch);
@@ -1446,7 +1447,7 @@ pub fn e17_miss_ratio_curves_with_grid(scale: Scale, grid: &CapacityGrid) -> Vec
             &dag,
             ForkPolicy::FutureFirst,
             &[p],
-            &[SweepScheduler::RandomWs],
+            &[PolicySpec::ws_random()],
         );
         let run = &sweep.runs[0];
         let mut out = Vec::new();
@@ -1494,7 +1495,7 @@ fn e18_epoch_miss_rows(
         let class = classify(&dag);
         assert!(class.is_structured_local_touch(), "{:?}", class.violations);
         let sp = span(&dag);
-        for sched in [SweepScheduler::RandomWs, SweepScheduler::Parsimonious] {
+        for sched in [PolicySpec::ws_random(), PolicySpec::parsimonious()] {
             let mut row = vec![
                 policy.to_string(),
                 cp.epoch.to_string(),
@@ -1639,6 +1640,269 @@ pub fn e18_streaming_epochs(scale: Scale) -> Vec<Table> {
     vec![misses, summary]
 }
 
+/// One workload of the E19 tournament suite: name, DAG, and which bound
+/// family governs it (`thm12` for the Theorem-12 families,
+/// Theorem 16/18 — keyed by `single_touch` — for the exchange shapes).
+struct E19Workload {
+    name: &'static str,
+    dag: Dag,
+    thm12: bool,
+    single_touch: bool,
+}
+
+/// The Theorem-12/16 workload suite the E19 tournament scores against:
+/// the four E15 families plus one Theorem-16 (`steps = 1`) and one
+/// Theorem-18 symmetric-exchange stencil. Instances are sized below the
+/// E15 full-scale ones — the tournament simulates every workload once per
+/// `(P, policy)` over the whole policy space, so the suite trades
+/// working-set size for grid width (only the sizes shrink at
+/// `Scale::Quick`; the policy grid never does).
+fn e19_suite(scale: Scale) -> Vec<E19Workload> {
+    let (len, grain) = scale.pick((64usize, 8usize), (1_024, 32));
+    let families = [
+        ("mergesort", sort::mergesort(len, grain), true),
+        (
+            "mergesort-streaming",
+            sort::mergesort_streaming(len, grain, 2 * grain),
+            true,
+        ),
+        (
+            "stencil",
+            {
+                let (r, w, s) = scale.pick((3usize, 2usize, 3usize), (16, 32, 4));
+                stencil::stencil(r, w, s)
+            },
+            true,
+        ),
+        (
+            "pipeline-window4",
+            {
+                let (stages, items) = scale.pick((2usize, 4usize), (4, 64));
+                backpressure::batched_pipeline(stages, items, 4, 3)
+            },
+            true,
+        ),
+    ];
+    let mut suite: Vec<E19Workload> = families
+        .into_iter()
+        .map(|(name, dag, thm12)| {
+            let class = classify(&dag);
+            assert!(class.is_structured_local_touch(), "{:?}", class.violations);
+            E19Workload {
+                name,
+                dag,
+                thm12,
+                single_touch: false,
+            }
+        })
+        .collect();
+    for (name, (r, w, s)) in [
+        (
+            "exchange-thm16",
+            scale.pick((4usize, 2usize, 1usize), (16, 64, 1)),
+        ),
+        ("exchange-thm18", scale.pick((3, 2, 2), (16, 32, 4))),
+    ] {
+        let dag = stencil::stencil_exchange(r, w, s);
+        let single_touch = e16_classify(&dag, r, s);
+        suite.push(E19Workload {
+            name,
+            dag,
+            thm12: false,
+            single_touch,
+        });
+    }
+    suite
+}
+
+/// The E19-promoted presets, in [`PolicySpec::NAMED`] order (everything
+/// after the two historical baselines).
+fn e19_presets() -> Vec<PolicySpec> {
+    PolicySpec::NAMED
+        .iter()
+        .map(|&(_, spec)| spec)
+        .filter(|spec| *spec != PolicySpec::ws_random() && *spec != PolicySpec::parsimonious())
+        .collect()
+}
+
+/// E19 — the scheduler tournament: the simulator as a fitness oracle over
+/// the composable steal-policy space. Grid-enumerates victim order ×
+/// steal amount × patience × locality (80 points, ≥ 64 at every scale),
+/// scores every point over the Theorem-12/16 workload suite × P ×
+/// sampled capacities with one one-pass [`capacity_sweep`] per workload,
+/// and emits three tables: aggregate scores with Pareto marks, the
+/// Pareto front, and the promoted presets against the `ws-random`
+/// baseline cell by cell — with the Theorem 8/10/12-shaped bound, the
+/// slack left under it, and a `beats` verdict (fewer extra misses at
+/// equal-or-better makespan) per `(workload, P, C)`.
+pub fn e19_scheduler_tournament(scale: Scale) -> Vec<Table> {
+    e19_scheduler_tournament_with_specs(scale, &policy_space())
+}
+
+/// [`e19_scheduler_tournament`] over a caller-chosen policy set (the
+/// harness's `--schedulers`/`--patience` flags). A set narrower than the
+/// default grid is flagged in the scores table's title, mirroring the
+/// `--capacities` truncation convention.
+pub fn e19_scheduler_tournament_with_specs(scale: Scale, specs: &[PolicySpec]) -> Vec<Table> {
+    let suite = e19_suite(scale);
+    let workloads: Vec<(String, Dag)> = suite
+        .iter()
+        .map(|w| (w.name.to_string(), w.dag.clone()))
+        .collect();
+    let config = TournamentConfig {
+        // Two victim candidates minimum (P ≥ 3 would be better still, but
+        // P = 4 keeps the quick grid inside the smoke-test budget) so the
+        // victim-order dimension is never degenerate.
+        processors: scale.pick(vec![2, 4], vec![2, 8]),
+        specs: specs.to_vec(),
+        capacities: scale.pick(vec![16, 256], vec![16, 256, 4096, 32768]),
+        fork_policy: ForkPolicy::FutureFirst,
+    };
+    let t = run_tournament(&workloads, &config);
+
+    let default_points = policy_space().len();
+    let mut title = format!(
+        "E19 — scheduler tournament: aggregate scores over {} policy points × the Theorem-12/16 suite",
+        specs.len()
+    );
+    if specs.len() < default_points {
+        title.push_str(&format!(
+            " [note: policy set truncated to {} point(s) (default grid sweeps {})]",
+            specs.len(),
+            default_points
+        ));
+    }
+    let mut scores = Table::new(
+        title,
+        &[
+            "sched",
+            "deviations",
+            "steals",
+            "extra misses",
+            "makespan",
+            "pareto",
+        ],
+    );
+    for e in &t.entries {
+        scores.push_row(vec![
+            e.spec.to_string(),
+            e.deviations.to_string(),
+            e.steals.to_string(),
+            e.extra_misses.to_string(),
+            e.makespan.to_string(),
+            if e.pareto { "yes" } else { "-" }.to_string(),
+        ]);
+    }
+
+    // Policies that tie on the whole score tuple are mutually
+    // non-dominated, so a raw front drowns in duplicates (at P = 2 every
+    // victim order is degenerate, for one). Collapse ties: one row per
+    // distinct score, first spec in grid order speaks for the group.
+    let mut front = Table::new(
+        "E19 — Pareto front on (deviations, extra misses, makespan), score ties collapsed",
+        &[
+            "sched",
+            "deviations",
+            "steals",
+            "extra misses",
+            "makespan",
+            "ties",
+        ],
+    );
+    let mut seen_scores: Vec<(u64, u64, u64)> = Vec::new();
+    for e in t.pareto_front() {
+        let score = (e.deviations, e.extra_misses, e.makespan);
+        if seen_scores.contains(&score) {
+            continue;
+        }
+        seen_scores.push(score);
+        let ties = t
+            .pareto_front()
+            .filter(|o| (o.deviations, o.extra_misses, o.makespan) == score)
+            .count();
+        front.push_row(vec![
+            e.spec.to_string(),
+            e.deviations.to_string(),
+            e.steals.to_string(),
+            e.extra_misses.to_string(),
+            e.makespan.to_string(),
+            ties.to_string(),
+        ]);
+    }
+
+    // The promoted presets against ws-random, cell by cell. Only presets
+    // present in the evaluated set appear (an explicit --schedulers list
+    // may omit them).
+    let presets: Vec<PolicySpec> = e19_presets()
+        .into_iter()
+        .filter(|p| specs.contains(p))
+        .collect();
+    let mut promoted = Table::new(
+        "E19 — promoted presets vs ws-random, per (workload, P, C) cell",
+        &[
+            "workload",
+            "P",
+            "C",
+            "sched",
+            "T_inf",
+            "deviations",
+            "dev bound",
+            "slack",
+            "extra misses",
+            "miss bound",
+            "d_misses",
+            "makespan",
+            "d_makespan",
+            "beats",
+            "within",
+        ],
+    );
+    if specs.contains(&PolicySpec::ws_random()) {
+        for (widx, w) in suite.iter().enumerate() {
+            for &p in &config.processors {
+                let base = t
+                    .run(widx, p, &PolicySpec::ws_random())
+                    .expect("ws-random cell evaluated");
+                for (ci, &c) in config.capacities.iter().enumerate() {
+                    for preset in &presets {
+                        let run = t.run(widx, p, preset).expect("preset cell evaluated");
+                        let (dev_bound, miss_bound) = if w.thm12 {
+                            (
+                                bounds::thm12_deviations(p as u64, run.span),
+                                bounds::thm12_additional_misses(c as u64, p as u64, run.span),
+                            )
+                        } else {
+                            thm16_18_bounds(p, c, run.span, w.single_touch)
+                        };
+                        let (misses, base_misses) = (run.extra_misses[ci], base.extra_misses[ci]);
+                        let beats = misses < base_misses && run.makespan <= base.makespan;
+                        let within = run.deviations <= dev_bound && misses <= miss_bound;
+                        promoted.push_row(vec![
+                            w.name.to_string(),
+                            p.to_string(),
+                            c.to_string(),
+                            preset.to_string(),
+                            run.span.to_string(),
+                            run.deviations.to_string(),
+                            dev_bound.to_string(),
+                            (dev_bound.saturating_sub(run.deviations)).to_string(),
+                            misses.to_string(),
+                            miss_bound.to_string(),
+                            format!("{:+}", misses as i64 - base_misses as i64),
+                            run.makespan.to_string(),
+                            format!("{:+}", run.makespan as i64 - base.makespan as i64),
+                            if beats { "yes" } else { "-" }.to_string(),
+                            if within { "yes" } else { "NO" }.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+
+    vec![scores, front, promoted]
+}
+
 fn fib_reference(n: u64) -> u64 {
     let (mut a, mut b) = (0u64, 1u64);
     for _ in 0..n {
@@ -1670,6 +1934,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e16_exchange_stencil(scale));
     tables.extend(e17_miss_ratio_curves(scale));
     tables.extend(e18_streaming_epochs(scale));
+    tables.extend(e19_scheduler_tournament(scale));
     tables
 }
 
@@ -1725,6 +1990,11 @@ pub fn registry() -> Vec<Experiment> {
             "fault-tolerant streaming epochs (crash recovery)",
             e18_streaming_epochs,
         ),
+        (
+            "e19",
+            "scheduler tournament over the composable steal-policy space (Pareto front)",
+            e19_scheduler_tournament,
+        ),
     ]
 }
 
@@ -1754,11 +2024,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 19);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
     }
 
     #[test]
@@ -1792,6 +2062,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn e19_covers_the_space_and_respects_the_bounds() {
+        let tables = e19_scheduler_tournament(Scale::Quick);
+        assert_eq!(tables.len(), 3);
+        let [scores, front, promoted] = &tables[..] else {
+            unreachable!()
+        };
+        // ≥ 64 policy points at every scale — the quick grid is the full
+        // grid; only the workload sizes shrink.
+        assert!(scores.len() >= 64, "{} policy points", scores.len());
+        assert!(!front.is_empty(), "Pareto front is never empty");
+        // Every promoted-preset cell stays within its governing theorem
+        // bound — steal-half and the other dimensions do not break the
+        // Theorem 12/16/18 regime on this suite.
+        assert!(!promoted.is_empty());
+        for row in &promoted.rows {
+            assert_eq!(
+                row.last().map(String::as_str),
+                Some("yes"),
+                "{}: row {row:?} violates its bound",
+                promoted.title
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "full-scale tournament; seconds-long in debug builds"]
+    fn e19_full_scale_has_a_preset_beating_ws_random() {
+        // The promotion contract (see docs/EXPERIMENTS.md §E19): at full
+        // scale at least one promoted preset beats ws-random on extra
+        // misses at equal-or-better makespan in some (workload, P, C)
+        // cell. `beats` is the second-to-last column.
+        let tables = e19_scheduler_tournament(Scale::Full);
+        let promoted = &tables[2];
+        assert!(
+            promoted.rows.iter().any(|row| row[row.len() - 2] == "yes"),
+            "no promoted preset beats ws-random in any cell"
+        );
     }
 
     #[test]

@@ -20,14 +20,20 @@
 pub mod experiments;
 pub mod fit;
 pub mod par;
+pub mod policy;
 pub mod sweeps;
 pub mod table;
+pub mod tournament;
 
 pub use experiments::{default_capacity_grid, registry, run_all, Scale};
 pub use fit::{mean_ratio, power_law_exponent};
 pub use par::{par_map, set_threads, threads};
+pub use policy::{OrderSpec, PolicySpec};
 pub use sweeps::{
     capacity_sweep, parallel_curve, seed_sweep, seed_sweep_cells, sequential_curve, CapacityGrid,
-    CapacityRun, CapacitySweep, SweepCell, SweepConfig, SweepScheduler,
+    CapacityRun, CapacitySweep, SweepCell, SweepConfig,
 };
 pub use table::Table;
+pub use tournament::{
+    policy_space, policy_space_with, run_tournament, Tournament, TournamentConfig, TournamentEntry,
+};

@@ -1,0 +1,365 @@
+//! Named points of the composable steal-policy space.
+//!
+//! A [`PolicySpec`] is the analysis layer's value-level description of a
+//! [`wsf_core::PolicyScheduler`] configuration: the victim order, the
+//! steal amount, the patience budget and the locality heuristic, with a
+//! stable textual form (`Display`/[`PolicySpec::parse`] round-trip) that
+//! experiment tables, the harness's `--schedulers` flag and the E19
+//! tournament all share. Instantiation is by value — a concrete
+//! [`PolicyScheduler`] — so every sweep gets a monomorphized simulator
+//! loop with no `Box<dyn Scheduler>` allocation.
+//!
+//! The two historical baselines keep their historical table names:
+//! `ws-random` (uniform-random victims, steal-one, eager) and
+//! `parsimonious` (lowest-id victims, steal-one, patience 4). The
+//! E19-promoted presets are named points too — see [`PolicySpec::NAMED`].
+
+use std::fmt;
+use wsf_core::{PolicyConfig, PolicyScheduler, StealAmount, VictimOrder};
+
+/// Victim-order half of a [`PolicySpec`]. Identical to
+/// [`wsf_core::VictimOrder`] except that the random order's seed is
+/// optional: `Random(None)` takes the simulation seed at
+/// [`PolicySpec::instantiate`] time, which is how every experiment keeps
+/// one seed knob.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OrderSpec {
+    /// Uniformly random victims; `None` adopts the simulation seed.
+    Random(Option<u64>),
+    /// Lowest-numbered candidate.
+    LowestId,
+    /// Cycle through the candidates.
+    RoundRobin,
+    /// Deepest deque, ties to the lowest id.
+    MostLoaded,
+    /// Previous victim while it still has work (affinity).
+    LastVictim,
+}
+
+impl OrderSpec {
+    fn token(&self) -> String {
+        match self {
+            OrderSpec::Random(None) => "random".into(),
+            OrderSpec::Random(Some(s)) => format!("random@{s}"),
+            OrderSpec::LowestId => "lowest".into(),
+            OrderSpec::RoundRobin => "rr".into(),
+            OrderSpec::MostLoaded => "loaded".into(),
+            OrderSpec::LastVictim => "last".into(),
+        }
+    }
+}
+
+/// One point of the steal-policy space, with a parse/print-stable name.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PolicySpec {
+    /// Victim-selection rule.
+    pub order: OrderSpec,
+    /// How much a successful steal transfers.
+    pub amount: StealAmount,
+    /// Steal opportunities a thief sits out before robbing anyone.
+    pub patience: u32,
+    /// Restrict selection to victims whose top block is resident in the
+    /// thief's cache, when any exists.
+    pub prefer_cached: bool,
+}
+
+impl PolicySpec {
+    /// The steal-frugal baseline's patience. One named knob instead of the
+    /// old `SweepScheduler::PATIENCE` constant: chosen so thieves throttle
+    /// visibly without serializing the run, and shared by every experiment
+    /// through [`PolicySpec::parsimonious`].
+    pub const PARSIMONIOUS_PATIENCE: u32 = 4;
+
+    /// `ws-random`: seeded uniformly-random victim selection (work stealing
+    /// with futures, the Arora–Blumofe–Plaxton model the theorems assume).
+    pub const fn ws_random() -> Self {
+        PolicySpec {
+            order: OrderSpec::Random(None),
+            amount: StealAmount::One,
+            patience: 0,
+            prefer_cached: false,
+        }
+    }
+
+    /// `parsimonious`: the deterministic steal-frugal baseline (thieves
+    /// wait out [`Self::PARSIMONIOUS_PATIENCE`] opportunities before
+    /// robbing the lowest victim).
+    pub const fn parsimonious() -> Self {
+        PolicySpec {
+            order: OrderSpec::LowestId,
+            amount: StealAmount::One,
+            patience: Self::PARSIMONIOUS_PATIENCE,
+            prefer_cached: false,
+        }
+    }
+
+    /// `ws-half`: E19-promoted preset — uniform-random victims stealing
+    /// half the victim's deque. Strictly dominates `ws-random` on the E19
+    /// suite (fewer deviations, steals and extra misses at a shorter
+    /// makespan). The analysis name for [`wsf_core::PolicyConfig::ws_half`];
+    /// see `docs/EXPERIMENTS.md` §E19.
+    pub const fn ws_half() -> Self {
+        PolicySpec {
+            order: OrderSpec::Random(None),
+            amount: StealAmount::Half,
+            patience: 0,
+            prefer_cached: false,
+        }
+    }
+
+    /// `ws-rr-eager`: E19-promoted preset — round-robin victims with
+    /// patience 1, the miss-minimizer of the space (~25 % fewer extra
+    /// misses than `ws-random` at ~2 % makespan cost). The analysis name
+    /// for [`wsf_core::PolicyConfig::rr_eager`]; see `docs/EXPERIMENTS.md`
+    /// §E19.
+    pub const fn ws_rr_eager() -> Self {
+        PolicySpec {
+            order: OrderSpec::RoundRobin,
+            amount: StealAmount::One,
+            patience: 1,
+            prefer_cached: false,
+        }
+    }
+
+    /// `ws-loaded-frugal`: E19-promoted preset — most-loaded victims,
+    /// steal-half, patience 16: the steal-frugal extreme (~35 % fewer
+    /// steals, ~18 % fewer extra misses, longer makespan). The analysis
+    /// name for [`wsf_core::PolicyConfig::loaded_frugal`]; see
+    /// `docs/EXPERIMENTS.md` §E19.
+    pub const fn ws_loaded_frugal() -> Self {
+        PolicySpec {
+            order: OrderSpec::MostLoaded,
+            amount: StealAmount::Half,
+            patience: 16,
+            prefer_cached: false,
+        }
+    }
+
+    /// The named points of the space: the two historical baselines plus
+    /// the E19-promoted presets. `Display` prints these names and
+    /// [`PolicySpec::parse`] accepts them.
+    pub const NAMED: &'static [(&'static str, PolicySpec)] = &[
+        ("ws-random", PolicySpec::ws_random()),
+        ("parsimonious", PolicySpec::parsimonious()),
+        ("ws-half", PolicySpec::ws_half()),
+        ("ws-rr-eager", PolicySpec::ws_rr_eager()),
+        ("ws-loaded-frugal", PolicySpec::ws_loaded_frugal()),
+    ];
+
+    /// A fresh scheduler instance for one simulation cell, by value:
+    /// callers get a concrete [`PolicyScheduler`] and a monomorphized
+    /// simulator loop (the old `SweepScheduler::instantiate` returned
+    /// `Box<dyn Scheduler>`). `sim_seed` is adopted by a seedless
+    /// [`OrderSpec::Random`]; every experiment cell goes through
+    /// this single constructor so the (seed, patience) configuration
+    /// cannot drift between E11's sweep and the other tables.
+    pub fn instantiate(&self, sim_seed: u64) -> PolicyScheduler {
+        let order = match self.order {
+            OrderSpec::Random(seed) => VictimOrder::Random(seed.unwrap_or(sim_seed)),
+            OrderSpec::LowestId => VictimOrder::LowestId,
+            OrderSpec::RoundRobin => VictimOrder::RoundRobin,
+            OrderSpec::MostLoaded => VictimOrder::MostLoaded,
+            OrderSpec::LastVictim => VictimOrder::LastVictim,
+        };
+        PolicyScheduler::new(PolicyConfig {
+            order,
+            amount: self.amount,
+            patience: self.patience,
+            prefer_cached: self.prefer_cached,
+        })
+    }
+
+    /// Parses the `Display` form: a name from [`PolicySpec::NAMED`] or
+    /// `<order>[+half][+pN][+cache]` with order one of `random`,
+    /// `random@SEED`, `lowest`, `rr`, `loaded`, `last`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if let Some((_, spec)) = Self::NAMED.iter().find(|(name, _)| *name == s) {
+            return Ok(*spec);
+        }
+        let mut parts = s.split('+');
+        let order_tok = parts.next().unwrap_or_default().trim();
+        let order = if let Some(seed) = order_tok.strip_prefix("random@") {
+            OrderSpec::Random(Some(
+                seed.parse::<u64>()
+                    .map_err(|e| format!("bad random seed {seed:?}: {e}"))?,
+            ))
+        } else {
+            match order_tok {
+                "random" => OrderSpec::Random(None),
+                "lowest" => OrderSpec::LowestId,
+                "rr" => OrderSpec::RoundRobin,
+                "loaded" => OrderSpec::MostLoaded,
+                "last" => OrderSpec::LastVictim,
+                other => {
+                    return Err(format!(
+                        "unknown victim order {other:?} (expected random[@SEED], \
+                         lowest, rr, loaded, last, or a named policy)"
+                    ))
+                }
+            }
+        };
+        let mut spec = PolicySpec {
+            order,
+            amount: StealAmount::One,
+            patience: 0,
+            prefer_cached: false,
+        };
+        for part in parts {
+            let part = part.trim();
+            if part == "half" {
+                spec.amount = StealAmount::Half;
+            } else if part == "cache" {
+                spec.prefer_cached = true;
+            } else if let Some(p) = part.strip_prefix('p') {
+                spec.patience = p
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad patience {p:?}: {e}"))?;
+            } else {
+                return Err(format!(
+                    "unknown policy modifier {part:?} (expected half, pN or cache)"
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Parses a comma-separated policy list (e.g.
+    /// `ws-random,loaded+half,parsimonious`), for the harness's
+    /// `--schedulers` flag.
+    pub fn parse_list(s: &str) -> Result<Vec<Self>, String> {
+        let specs: Vec<PolicySpec> = s
+            .split(',')
+            .map(Self::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("--schedulers: {e}"))?;
+        if specs.is_empty() {
+            return Err("scheduler list must be non-empty".into());
+        }
+        Ok(specs)
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((name, _)) = Self::NAMED.iter().find(|(_, spec)| spec == self) {
+            return write!(f, "{name}");
+        }
+        write!(f, "{}", self.order.token())?;
+        if self.amount == StealAmount::Half {
+            write!(f, "+half")?;
+        }
+        if self.patience > 0 {
+            write!(f, "+p{}", self.patience)?;
+        }
+        if self.prefer_cached {
+            write!(f, "+cache")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_baselines_print_their_table_names() {
+        assert_eq!(PolicySpec::ws_random().to_string(), "ws-random");
+        assert_eq!(PolicySpec::parsimonious().to_string(), "parsimonious");
+        assert_eq!(
+            PolicySpec::parsimonious().patience,
+            PolicySpec::PARSIMONIOUS_PATIENCE
+        );
+    }
+
+    #[test]
+    fn display_parse_round_trips_across_the_space() {
+        let orders = [
+            OrderSpec::Random(None),
+            OrderSpec::Random(Some(9)),
+            OrderSpec::LowestId,
+            OrderSpec::RoundRobin,
+            OrderSpec::MostLoaded,
+            OrderSpec::LastVictim,
+        ];
+        for order in orders {
+            for amount in [StealAmount::One, StealAmount::Half] {
+                for patience in [0u32, 1, 4, 16] {
+                    for prefer_cached in [false, true] {
+                        let spec = PolicySpec {
+                            order,
+                            amount,
+                            patience,
+                            prefer_cached,
+                        };
+                        let text = spec.to_string();
+                        assert_eq!(
+                            PolicySpec::parse(&text),
+                            Ok(spec),
+                            "round trip through {text:?}"
+                        );
+                    }
+                }
+            }
+        }
+        for (name, spec) in PolicySpec::NAMED {
+            assert_eq!(spec.to_string(), *name, "named specs print their name");
+            assert_eq!(PolicySpec::parse(name).as_ref(), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!(PolicySpec::parse("speediest").is_err());
+        assert!(PolicySpec::parse("random@notanumber").is_err());
+        assert!(PolicySpec::parse("lowest+pfour").is_err());
+        assert!(PolicySpec::parse("lowest+double").is_err());
+        assert!(PolicySpec::parse_list("").is_err());
+        assert_eq!(
+            PolicySpec::parse_list("ws-random, loaded+half+p4").unwrap(),
+            vec![
+                PolicySpec::ws_random(),
+                PolicySpec {
+                    order: OrderSpec::MostLoaded,
+                    amount: StealAmount::Half,
+                    patience: 4,
+                    prefer_cached: false,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn promoted_presets_match_their_core_constructors() {
+        use wsf_core::PolicyConfig;
+        let seed = 0x5eed;
+        assert_eq!(
+            *PolicySpec::ws_half().instantiate(seed).config(),
+            PolicyConfig::ws_half(seed)
+        );
+        assert_eq!(
+            *PolicySpec::ws_rr_eager().instantiate(seed).config(),
+            PolicyConfig::rr_eager()
+        );
+        assert_eq!(
+            *PolicySpec::ws_loaded_frugal().instantiate(seed).config(),
+            PolicyConfig::loaded_frugal()
+        );
+    }
+
+    #[test]
+    fn instantiate_adopts_the_sim_seed_only_when_unpinned() {
+        use wsf_core::VictimOrder;
+        let adopted = PolicySpec::ws_random().instantiate(77);
+        assert_eq!(adopted.config().order, VictimOrder::Random(77));
+        let pinned = PolicySpec {
+            order: OrderSpec::Random(Some(5)),
+            ..PolicySpec::ws_random()
+        };
+        assert_eq!(
+            pinned.instantiate(77).config().order,
+            VictimOrder::Random(5)
+        );
+    }
+}

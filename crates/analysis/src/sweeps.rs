@@ -22,53 +22,14 @@
 //!   nothing per step.
 
 use crate::par::par_map;
+use crate::policy::PolicySpec;
 use crate::table::Table;
-use std::fmt;
 use wsf_cache::{MissRatioCurve, StackDistanceSim};
 use wsf_core::{
-    bounds, ExecutionReport, ForkPolicy, ParallelSimulator, ParsimoniousScheduler, RandomScheduler,
-    SeqReport, SimConfig, SimScratch,
+    bounds, ExecutionReport, ForkPolicy, ParallelSimulator, SeqReport, SimConfig, SimScratch,
 };
 use wsf_dag::{span, Dag};
 use wsf_workloads::random::{random_single_touch, RandomConfig};
-
-/// Which steal scheduler a sweep cell runs under.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum SweepScheduler {
-    /// Seeded uniformly-random victim selection (work stealing with
-    /// futures, the Arora–Blumofe–Plaxton model the theorems assume).
-    RandomWs,
-    /// The deterministic steal-frugal [`ParsimoniousScheduler`] (thieves
-    /// wait out a fixed patience before robbing the lowest victim).
-    Parsimonious,
-}
-
-impl SweepScheduler {
-    /// Patience used by the parsimonious cells (deterministic; chosen so
-    /// thieves throttle visibly without serializing the run).
-    pub const PATIENCE: u32 = 4;
-
-    /// A fresh scheduler instance for one simulation cell. Every
-    /// experiment cell goes through this single constructor so the
-    /// (seed, patience) configuration cannot drift between E11's sweep and
-    /// the E12–E14 tables. (The sweep hot loop below keeps its own
-    /// `match` to preserve the monomorphized `RandomScheduler` path.)
-    pub fn instantiate(self, seed: u64) -> Box<dyn wsf_core::Scheduler> {
-        match self {
-            SweepScheduler::RandomWs => Box::new(RandomScheduler::new(seed)),
-            SweepScheduler::Parsimonious => Box::new(ParsimoniousScheduler::new(Self::PATIENCE)),
-        }
-    }
-}
-
-impl fmt::Display for SweepScheduler {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SweepScheduler::RandomWs => write!(f, "ws-random"),
-            SweepScheduler::Parsimonious => write!(f, "parsimonious"),
-        }
-    }
-}
 
 /// The cache capacities a locality sweep evaluates.
 ///
@@ -209,7 +170,7 @@ pub struct CapacityRun {
     /// Processor count of the run.
     pub processors: usize,
     /// Scheduler of the run.
-    pub scheduler: SweepScheduler,
+    pub scheduler: PolicySpec,
     /// Deviations from the sequential order (C-independent).
     pub deviations: u64,
     /// Successful steals (C-independent).
@@ -261,7 +222,7 @@ pub fn capacity_sweep(
     dag: &Dag,
     fork_policy: ForkPolicy,
     processors: &[usize],
-    schedulers: &[SweepScheduler],
+    schedulers: &[PolicySpec],
 ) -> CapacitySweep {
     let base = SimConfig {
         fork_policy,
@@ -277,11 +238,14 @@ pub fn capacity_sweep(
                 processors: p,
                 ..base
             };
+            // By-value instantiation: a concrete PolicyScheduler, so the
+            // loop stays monomorphized and allocation-free (the old
+            // SweepScheduler path boxed a dyn Scheduler per run).
             let mut sched = scheduler.instantiate(cfg.seed);
             let rep = ParallelSimulator::new(cfg).run_with_scratch(
                 dag,
                 &seq,
-                sched.as_mut(),
+                &mut sched,
                 true,
                 &mut scratch,
             );
@@ -316,7 +280,7 @@ pub struct SweepConfig {
     /// Cache sizes (lines) to simulate.
     pub cache_lines: Vec<usize>,
     /// Steal schedulers to simulate.
-    pub schedulers: Vec<SweepScheduler>,
+    pub schedulers: Vec<PolicySpec>,
 }
 
 impl Default for SweepConfig {
@@ -327,7 +291,7 @@ impl Default for SweepConfig {
             processors: vec![2, 4, 8],
             policies: ForkPolicy::ALL.to_vec(),
             cache_lines: vec![16],
-            schedulers: vec![SweepScheduler::RandomWs],
+            schedulers: vec![PolicySpec::ws_random()],
         }
     }
 }
@@ -342,7 +306,7 @@ pub struct SweepCell {
     /// Cache lines.
     pub cache_lines: usize,
     /// Steal scheduler.
-    pub scheduler: SweepScheduler,
+    pub scheduler: PolicySpec,
     /// Processor count.
     pub processors: usize,
     /// Nodes in the generated DAG.
@@ -401,17 +365,8 @@ pub fn seed_sweep_cells(config: &SweepConfig) -> Vec<SweepCell> {
                         };
                         let sim = ParallelSimulator::new(cfg);
                         let seq = seq.get_or_insert_with(|| sim.sequential(&dag));
-                        let rep = match scheduler {
-                            SweepScheduler::RandomWs => {
-                                let mut sched = RandomScheduler::new(cfg.seed);
-                                sim.run_with_scratch(&dag, seq, &mut sched, false, &mut scratch)
-                            }
-                            SweepScheduler::Parsimonious => {
-                                let mut sched =
-                                    ParsimoniousScheduler::new(SweepScheduler::PATIENCE);
-                                sim.run_with_scratch(&dag, seq, &mut sched, false, &mut scratch)
-                            }
-                        };
+                        let mut sched = scheduler.instantiate(cfg.seed);
+                        let rep = sim.run_with_scratch(&dag, seq, &mut sched, false, &mut scratch);
                         let deviation_bound = match policy {
                             ForkPolicy::FutureFirst => {
                                 bounds::thm12_deviations(processors as u64, sp)
@@ -513,7 +468,7 @@ mod tests {
         // full-table byte-identity pin lives in
         // tests/parallel_determinism.rs.)
         let dag = wsf_workloads::sort::mergesort(64, 8);
-        let schedulers = [SweepScheduler::RandomWs, SweepScheduler::Parsimonious];
+        let schedulers = [PolicySpec::ws_random(), PolicySpec::parsimonious()];
         let sweep = capacity_sweep(&dag, ForkPolicy::FutureFirst, &[2], &schedulers);
         assert_eq!(sweep.runs.len(), 2);
         for &c in CapacityGrid::legacy().capacities() {
@@ -531,7 +486,7 @@ mod tests {
                     ..base
                 };
                 let mut s = scheduler.instantiate(cfg.seed);
-                let rep = ParallelSimulator::new(cfg).run_against(&dag, &seq, s.as_mut(), false);
+                let rep = ParallelSimulator::new(cfg).run_against(&dag, &seq, &mut s, false);
                 assert_eq!(run.deviations, rep.deviations());
                 assert_eq!(run.steals, rep.steals());
                 assert_eq!(run.makespan, rep.makespan);
@@ -552,16 +507,16 @@ mod tests {
             processors: vec![2, 4],
             policies: ForkPolicy::ALL.to_vec(),
             cache_lines: vec![8],
-            schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+            schedulers: vec![PolicySpec::ws_random(), PolicySpec::parsimonious()],
         };
         let cells = seed_sweep_cells(&config);
         assert_eq!(cells.len(), 2 * 2 * 2 * 2);
         // Seed-major order, then policy, scheduler, P.
         assert_eq!(cells[0].seed, 1);
-        assert_eq!(cells[0].scheduler, SweepScheduler::RandomWs);
+        assert_eq!(cells[0].scheduler, PolicySpec::ws_random());
         assert_eq!(cells[0].processors, 2);
         assert_eq!(cells[1].processors, 4);
-        assert_eq!(cells[2].scheduler, SweepScheduler::Parsimonious);
+        assert_eq!(cells[2].scheduler, PolicySpec::parsimonious());
         assert_eq!(cells[8].seed, 2);
         let table = seed_sweep(&config);
         assert_eq!(table.len(), cells.len());
@@ -574,7 +529,7 @@ mod tests {
             seeds: vec![3, 9],
             processors: vec![2, 4],
             cache_lines: vec![8],
-            schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+            schedulers: vec![PolicySpec::ws_random(), PolicySpec::parsimonious()],
             ..SweepConfig::default()
         });
         for cell in &cells {
@@ -599,7 +554,7 @@ mod tests {
             processors: vec![4],
             policies: vec![ForkPolicy::FutureFirst],
             cache_lines: vec![8],
-            schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+            schedulers: vec![PolicySpec::ws_random(), PolicySpec::parsimonious()],
         });
         assert_eq!(cells.len(), 2);
         assert!(

@@ -1,0 +1,314 @@
+//! The scheduler tournament behind E19: the simulator as a fitness oracle
+//! over the composable steal-policy space.
+//!
+//! [`policy_space`] grid-enumerates the orthogonal dimensions of
+//! [`PolicySpec`] (victim order × steal amount × patience × locality);
+//! [`run_tournament`] evaluates every point against a workload suite ×
+//! processor counts × cache capacities using one one-pass
+//! [`capacity_sweep`] per workload (each `(workload, P, policy)` cell is
+//! simulated exactly once and its miss-ratio curve answers every
+//! capacity), scores each policy on the three axes the paper's theorems
+//! bound — deviations, cache misses beyond sequential, makespan — and
+//! marks the Pareto-minimal points. Workloads are sharded with
+//! [`par_map`], so the result (and every table derived from it) is
+//! byte-identical at every thread count.
+
+use crate::par::par_map;
+use crate::policy::{OrderSpec, PolicySpec};
+use crate::sweeps::capacity_sweep;
+use wsf_core::{ForkPolicy, StealAmount};
+use wsf_dag::Dag;
+
+/// The default tournament grid: every victim order × steal amount ×
+/// patience ∈ {0, 1, 4, 16} × locality on/off — 80 policy points.
+pub fn policy_space() -> Vec<PolicySpec> {
+    policy_space_with(&[0, 1, 4, 16])
+}
+
+/// [`policy_space`] with a caller-chosen patience axis (the harness's
+/// `--patience` flag narrows or extends the default `{0, 1, 4, 16}`).
+pub fn policy_space_with(patience: &[u32]) -> Vec<PolicySpec> {
+    let orders = [
+        OrderSpec::Random(None),
+        OrderSpec::LowestId,
+        OrderSpec::RoundRobin,
+        OrderSpec::MostLoaded,
+        OrderSpec::LastVictim,
+    ];
+    let mut specs = Vec::new();
+    for order in orders {
+        for amount in [StealAmount::One, StealAmount::Half] {
+            for &patience in patience {
+                for prefer_cached in [false, true] {
+                    specs.push(PolicySpec {
+                        order,
+                        amount,
+                        patience,
+                        prefer_cached,
+                    });
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Parameters of [`run_tournament`].
+#[derive(Clone, Debug)]
+pub struct TournamentConfig {
+    /// The policy points to evaluate (see [`policy_space`]).
+    pub specs: Vec<PolicySpec>,
+    /// Processor counts per workload.
+    pub processors: Vec<usize>,
+    /// Sample cache capacities the miss score sums over.
+    pub capacities: Vec<usize>,
+    /// Fork policy of every run (the theorems' structured regime is
+    /// future-first).
+    pub fork_policy: ForkPolicy,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            specs: policy_space(),
+            processors: vec![2, 8],
+            capacities: vec![16, 256, 4096, 32768],
+            fork_policy: ForkPolicy::FutureFirst,
+        }
+    }
+}
+
+/// One `(workload, P, policy)` cell of the tournament, with per-sample-
+/// capacity miss counts recovered from the run's miss-ratio curve.
+#[derive(Clone, Debug)]
+pub struct TournamentRun {
+    /// Index into the tournament's workload list.
+    pub workload: usize,
+    /// Processor count.
+    pub processors: usize,
+    /// The policy evaluated.
+    pub spec: PolicySpec,
+    /// Span (`T∞`) of the workload DAG.
+    pub span: u64,
+    /// Deviations from the sequential order.
+    pub deviations: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Simulated makespan in steps.
+    pub makespan: u64,
+    /// Cache misses beyond the sequential baseline, one per sample
+    /// capacity (same order as the config's `capacities`).
+    pub extra_misses: Vec<u64>,
+}
+
+/// Aggregate score of one policy across every workload × P × capacity.
+#[derive(Clone, Debug)]
+pub struct TournamentEntry {
+    /// The policy.
+    pub spec: PolicySpec,
+    /// Total deviations across all runs.
+    pub deviations: u64,
+    /// Total steals across all runs.
+    pub steals: u64,
+    /// Total extra misses across all runs and sample capacities.
+    pub extra_misses: u64,
+    /// Total makespan across all runs.
+    pub makespan: u64,
+    /// Whether the entry is Pareto-minimal on
+    /// (deviations, extra misses, makespan).
+    pub pareto: bool,
+}
+
+impl TournamentEntry {
+    fn dominated_by(&self, other: &TournamentEntry) -> bool {
+        let le = other.deviations <= self.deviations
+            && other.extra_misses <= self.extra_misses
+            && other.makespan <= self.makespan;
+        let lt = other.deviations < self.deviations
+            || other.extra_misses < self.extra_misses
+            || other.makespan < self.makespan;
+        le && lt
+    }
+}
+
+/// Result of [`run_tournament`].
+#[derive(Clone, Debug)]
+pub struct Tournament {
+    /// Workload names, in evaluation order.
+    pub workloads: Vec<String>,
+    /// The sample capacities of the miss score.
+    pub capacities: Vec<usize>,
+    /// Every `(workload, P, policy)` cell, workload-major, then
+    /// processors, then policy (the deterministic sweep order).
+    pub runs: Vec<TournamentRun>,
+    /// One aggregate score per policy, in config order.
+    pub entries: Vec<TournamentEntry>,
+}
+
+impl Tournament {
+    /// The Pareto-minimal entries, in config order.
+    pub fn pareto_front(&self) -> impl Iterator<Item = &TournamentEntry> {
+        self.entries.iter().filter(|e| e.pareto)
+    }
+
+    /// The cell for `(workload, processors, spec)`, if evaluated.
+    pub fn run(
+        &self,
+        workload: usize,
+        processors: usize,
+        spec: &PolicySpec,
+    ) -> Option<&TournamentRun> {
+        self.runs
+            .iter()
+            .find(|r| r.workload == workload && r.processors == processors && r.spec == *spec)
+    }
+}
+
+/// Evaluates every policy of `config` against every named workload, one
+/// one-pass [`capacity_sweep`] per workload (sharded, byte-deterministic),
+/// and scores the policies. See the module docs.
+pub fn run_tournament(workloads: &[(String, Dag)], config: &TournamentConfig) -> Tournament {
+    let specs = config.specs.clone();
+    let per_workload = par_map(
+        workloads
+            .iter()
+            .enumerate()
+            .map(|(i, (_, dag))| (i, dag.clone()))
+            .collect(),
+        |(widx, dag)| {
+            let sweep = capacity_sweep(&dag, config.fork_policy, &config.processors, &specs);
+            sweep
+                .runs
+                .iter()
+                .map(|run| TournamentRun {
+                    workload: widx,
+                    processors: run.processors,
+                    spec: run.scheduler,
+                    span: sweep.span,
+                    deviations: run.deviations,
+                    steals: run.steals,
+                    makespan: run.makespan,
+                    extra_misses: config
+                        .capacities
+                        .iter()
+                        .map(|&c| run.additional_misses_at(&sweep.seq_curve, c))
+                        .collect(),
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    let runs: Vec<TournamentRun> = per_workload.into_iter().flatten().collect();
+
+    let mut entries: Vec<TournamentEntry> = specs
+        .iter()
+        .map(|spec| {
+            let mine = runs.iter().filter(|r| r.spec == *spec);
+            let mut e = TournamentEntry {
+                spec: *spec,
+                deviations: 0,
+                steals: 0,
+                extra_misses: 0,
+                makespan: 0,
+                pareto: false,
+            };
+            for r in mine {
+                e.deviations += r.deviations;
+                e.steals += r.steals;
+                e.extra_misses += r.extra_misses.iter().sum::<u64>();
+                e.makespan += r.makespan;
+            }
+            e
+        })
+        .collect();
+    for i in 0..entries.len() {
+        entries[i].pareto = !entries.iter().any(|other| entries[i].dominated_by(other));
+    }
+
+    Tournament {
+        workloads: workloads.iter().map(|(n, _)| n.clone()).collect(),
+        capacities: config.capacities.clone(),
+        runs,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> Vec<(String, Dag)> {
+        vec![
+            ("mergesort".into(), wsf_workloads::sort::mergesort(64, 8)),
+            ("stencil".into(), wsf_workloads::stencil::stencil(4, 8, 3)),
+        ]
+    }
+
+    #[test]
+    fn policy_space_has_at_least_64_distinct_points() {
+        let space = policy_space();
+        assert!(space.len() >= 64, "{} points", space.len());
+        let mut texts: Vec<String> = space.iter().map(|s| s.to_string()).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), space.len(), "all points distinct by name");
+        assert!(space.contains(&PolicySpec::ws_random()));
+        assert!(space.contains(&PolicySpec::parsimonious()));
+    }
+
+    #[test]
+    fn tournament_scores_and_marks_a_nonempty_pareto_front() {
+        let config = TournamentConfig {
+            specs: vec![
+                PolicySpec::ws_random(),
+                PolicySpec::parsimonious(),
+                PolicySpec::ws_rr_eager(),
+            ],
+            processors: vec![2],
+            capacities: vec![16, 256],
+            ..TournamentConfig::default()
+        };
+        let t = run_tournament(&tiny_suite(), &config);
+        // capacities × processors × specs = 2 × 1 × 3 cells.
+        assert_eq!(t.runs.len(), 6);
+        assert_eq!(t.entries.len(), 3);
+        assert!(t.pareto_front().count() >= 1, "front is never empty");
+        // An entry on the front is not dominated by any other.
+        for e in t.pareto_front() {
+            assert!(!t.entries.iter().any(|o| e.dominated_by(o)));
+        }
+        // Aggregates equal the sum of the entry's runs.
+        for e in &t.entries {
+            let dev: u64 = t
+                .runs
+                .iter()
+                .filter(|r| r.spec == e.spec)
+                .map(|r| r.deviations)
+                .sum();
+            assert_eq!(e.deviations, dev);
+        }
+        // Cell lookup finds what the sweep produced.
+        let cell = t.run(0, 2, &PolicySpec::ws_random()).expect("cell exists");
+        assert_eq!(cell.extra_misses.len(), 2);
+    }
+
+    #[test]
+    fn tournament_is_deterministic_across_thread_counts_locally() {
+        // The cross-thread byte-identity of the E19 *tables* is pinned in
+        // tests/parallel_determinism.rs (set_threads is process-global);
+        // here: two same-thread runs agree cell by cell.
+        let config = TournamentConfig {
+            specs: vec![PolicySpec::ws_random(), PolicySpec::ws_half()],
+            processors: vec![2],
+            capacities: vec![16],
+            ..TournamentConfig::default()
+        };
+        let a = run_tournament(&tiny_suite(), &config);
+        let b = run_tournament(&tiny_suite(), &config);
+        assert_eq!(a.runs.len(), b.runs.len());
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.deviations, y.deviations);
+            assert_eq!(x.makespan, y.makespan);
+            assert_eq!(x.extra_misses, y.extra_misses);
+        }
+    }
+}

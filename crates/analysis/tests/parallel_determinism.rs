@@ -11,7 +11,7 @@
 //! vacuous.
 
 use wsf_analysis::{
-    experiments, seed_sweep, set_threads, CapacityGrid, Scale, SweepConfig, SweepScheduler,
+    experiments, seed_sweep, set_threads, CapacityGrid, PolicySpec, Scale, SweepConfig,
 };
 use wsf_core::ForkPolicy;
 
@@ -23,7 +23,7 @@ fn render_sweep(threads: usize, seeds: Vec<u64>, policies: Vec<ForkPolicy>) -> S
         processors: vec![2, 4],
         policies,
         cache_lines: vec![8, 16],
-        schedulers: vec![SweepScheduler::RandomWs, SweepScheduler::Parsimonious],
+        schedulers: vec![PolicySpec::ws_random(), PolicySpec::parsimonious()],
     });
     set_threads(0);
     table.render()
@@ -69,6 +69,7 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
         experiments::e16_exchange_stencil,
         experiments::e17_miss_ratio_curves,
         experiments::e18_streaming_epochs,
+        experiments::e19_scheduler_tournament,
     ];
     for runner in runners {
         set_threads(1);

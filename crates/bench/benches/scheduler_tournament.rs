@@ -1,0 +1,57 @@
+//! E19: cost of the scheduler tournament — the simulator as a fitness
+//! oracle over the composable steal-policy space. One bench point runs a
+//! narrowed tournament (named presets only) over a small Theorem-12
+//! workload pair; the other evaluates the full 80-point grid on one
+//! workload, the shape that dominates the full-scale E19 wall-clock.
+//! `WSF_BENCH_SMOKE=1` shrinks the workloads for CI's one-iteration run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsf_analysis::{policy_space, run_tournament, PolicySpec, TournamentConfig};
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("WSF_BENCH_SMOKE").is_ok();
+    let (sort_len, rows) = if smoke { (64, 4) } else { (256, 8) };
+    let mut group = c.benchmark_group("scheduler_tournament");
+    let suite = vec![
+        (
+            "mergesort".to_string(),
+            wsf_workloads::sort::mergesort(sort_len, 8),
+        ),
+        (
+            "stencil".to_string(),
+            wsf_workloads::stencil::stencil(rows, 16, 3),
+        ),
+    ];
+    let presets = TournamentConfig {
+        specs: PolicySpec::NAMED.iter().map(|&(_, s)| s).collect(),
+        processors: vec![2, 4],
+        capacities: vec![16, 256],
+        ..TournamentConfig::default()
+    };
+    group.bench_function("presets/2workloads", |b| {
+        b.iter(|| run_tournament(&suite, &presets))
+    });
+
+    let grid = TournamentConfig {
+        specs: policy_space(),
+        processors: vec![4],
+        capacities: vec![16, 256],
+        ..TournamentConfig::default()
+    };
+    let one = &suite[..1];
+    group.bench_function("grid80/mergesort", |b| {
+        b.iter(|| run_tournament(one, &grid))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! `docs/EXPERIMENTS.md`.
 //!
 //! ```text
-//! harness [--quick] [--threads N] [--capacities C1,C2,...] [all|e1|e2|...|e18]...
+//! harness [--quick] [--threads N] [--capacities C1,C2,...]
+//!         [--schedulers S1,S2,...] [--patience P1,P2,...]
+//!         [all|e1|e2|...|e19]...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` uses the reduced
@@ -13,22 +15,48 @@
 //! `--capacities` overrides the cache-capacity grid of the one-pass
 //! locality sweeps (E15/E16/E17); the default is the dense 2^4…2^20 grid,
 //! and a coarser override is flagged with a truncation note so a sparse
-//! run cannot silently pose as the full sweep.
+//! run cannot silently pose as the full sweep. `--schedulers` narrows the
+//! E19 tournament to an explicit policy list (`PolicySpec` syntax:
+//! `ws-half`, `loaded+half+p16`, `random@7+cache`, …); `--patience`
+//! instead re-enumerates the full grid over a caller-chosen patience axis.
+//! The two compose last-one-wins, and any set narrower than the default
+//! 80-point grid is flagged with the same style of truncation note.
 
-use wsf_analysis::{experiments, registry, set_threads, CapacityGrid, Scale, Table};
+use wsf_analysis::{
+    experiments, policy_space, policy_space_with, registry, set_threads, CapacityGrid, PolicySpec,
+    Scale, Table,
+};
 
 /// A gridded experiment runner: the one-pass locality sweeps take the
 /// capacity grid as a parameter.
 type GridRunner = fn(Scale, &CapacityGrid) -> Vec<Table>;
 
+/// Parses the `--patience` axis: a non-empty comma-separated `u32` list.
+fn parse_patience(s: &str) -> Result<Vec<u32>, String> {
+    let axis: Vec<u32> = s
+        .split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            tok.parse::<u32>()
+                .map_err(|e| format!("bad patience {tok:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if axis.is_empty() {
+        return Err("patience list must be non-empty".into());
+    }
+    Ok(axis)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    // Single pass: consume `--threads N` / `--capacities LIST` (last
-    // occurrence wins) and collect the experiment ids.
+    // Single pass: consume `--threads N` / `--capacities LIST` /
+    // `--schedulers LIST` / `--patience LIST` (last occurrence wins) and
+    // collect the experiment ids.
     let mut wanted: Vec<String> = Vec::new();
     let mut grid: Option<CapacityGrid> = None;
+    let mut specs: Option<Vec<PolicySpec>> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--threads" {
@@ -51,6 +79,33 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--schedulers" {
+            match iter.next().map(|v| PolicySpec::parse_list(v)) {
+                Some(Ok(list)) => specs = Some(list),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!(
+                        "--schedulers requires a comma-separated policy list, e.g. \
+                         ws-random,ws-half,loaded+half+p16"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--patience" {
+            match iter.next().map(|v| parse_patience(v)) {
+                Some(Ok(axis)) => specs = Some(policy_space_with(&axis)),
+                Some(Err(e)) => {
+                    eprintln!("--patience: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--patience requires a comma-separated list, e.g. 0,1,4,16");
+                    std::process::exit(2);
+                }
+            }
         } else if !arg.starts_with('-') {
             wanted.push(arg.to_lowercase());
         }
@@ -64,6 +119,19 @@ fn main() {
     );
     if let Some(note) = grid.as_ref().and_then(|g| g.truncation_note()) {
         eprintln!("{note}");
+    }
+    if let Some(s) = specs.as_ref() {
+        // Mirror the `--capacities` convention: a set narrower than the
+        // default grid cannot silently pose as the full tournament.
+        let default_points = policy_space().len();
+        if s.len() < default_points {
+            eprintln!(
+                "note: policy set truncated to {} point(s) (default grid sweeps {}); \
+                 the E19 tables are not the full tournament",
+                s.len(),
+                default_points
+            );
+        }
     }
 
     // The one-pass locality sweeps accept a capacity grid; everything else
@@ -84,7 +152,12 @@ fn main() {
         let grid_runner = gridded.iter().find(|(gid, _)| *gid == id).map(|(_, r)| *r);
         let tables = match (&grid, grid_runner) {
             (Some(g), Some(r)) => r(scale, g),
-            _ => runner(scale),
+            // The tournament takes the policy set as a parameter; every
+            // other experiment ignores `--schedulers`/`--patience`.
+            _ => match (&specs, id) {
+                (Some(s), "e19") => experiments::e19_scheduler_tournament_with_specs(scale, s),
+                _ => runner(scale),
+            },
         };
         for table in tables {
             println!("{table}");

@@ -60,8 +60,9 @@ pub use policy::ForkPolicy;
 pub use ready::{schedule_enabled, Continuation, ReadyTracker};
 pub use report::{ExecutionReport, ProcStats, SeqReport, TraceEvent};
 pub use scheduler::{
-    GreedyScheduler, ParsimoniousScheduler, RandomScheduler, Scheduler, ScriptedScheduler,
-    SleepDirective, WakeCondition,
+    GreedyScheduler, ParsimoniousScheduler, PolicyConfig, PolicyScheduler, RandomScheduler,
+    Scheduler, ScriptedScheduler, SleepDirective, StealAmount, StealContext, VictimOrder,
+    WakeCondition,
 };
 pub use scratch::SimScratch;
 pub use sequential::SequentialExecutor;

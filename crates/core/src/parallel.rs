@@ -24,7 +24,7 @@
 use crate::config::SimConfig;
 use crate::ready::{schedule_enabled, ReadyTracker};
 use crate::report::{ExecutionReport, SeqReport, TraceEvent};
-use crate::scheduler::{RandomScheduler, Scheduler};
+use crate::scheduler::{RandomScheduler, Scheduler, StealAmount, StealContext};
 use crate::scratch::{NonEmptySet, Proc, SimScratch};
 use crate::sequential::SequentialExecutor;
 use wsf_dag::{Dag, NodeId};
@@ -121,11 +121,18 @@ impl ParallelSimulator {
             procs,
             nonempty,
             candidates,
+            depths,
+            resident,
+            stolen,
             enabled,
             seq_prev,
             tracker,
             ..
         } = scratch;
+        // The residency probe costs a peek + cache lookup per candidate per
+        // steal attempt; only locality-aware policies pay for it.
+        let wants_residency = scheduler.wants_residency();
+        let steal_amount = scheduler.steal_amount();
 
         let mut trace = if record_trace {
             Some(Vec::with_capacity(dag.num_nodes()))
@@ -191,22 +198,70 @@ impl ParallelSimulator {
                         // to steal from the top of another processor's
                         // deque. The candidate list is copied from the
                         // incrementally-maintained non-empty set (ascending
-                        // processor order, O(candidates), no allocation).
+                        // processor order, O(candidates), no allocation);
+                        // the per-candidate depth and residency views are
+                        // rebuilt into reusable scratch buffers.
                         candidates.clear();
                         candidates.extend(nonempty.members().iter().copied().filter(|&q| q != p));
-                        match scheduler.choose_victim(p, candidates) {
+                        depths.clear();
+                        depths.extend(candidates.iter().map(|&q| procs[q].deque.len()));
+                        resident.clear();
+                        if wants_residency {
+                            resident.extend(candidates.iter().map(|&q| {
+                                procs[q].deque.peek_top().is_some_and(|&n| {
+                                    dag.block_of(n)
+                                        .is_some_and(|b| procs[p].cache.contains(b.0))
+                                })
+                            }));
+                        }
+                        let ctx = StealContext::new(candidates, depths, resident);
+                        match scheduler.choose_victim(p, &ctx) {
                             // Validate the choice by membership instead of a
                             // linear re-scan of the candidate list.
                             Some(victim) if victim != p && nonempty.contains(victim) => {
-                                let stolen = procs[victim].deque.steal_top();
-                                nonempty.sync(victim, !procs[victim].deque.is_empty());
-                                match stolen {
-                                    Some(node) => {
-                                        procs[p].current = Some((node, dag.node(node).weight()));
-                                        procs[p].stats.steals += 1;
-                                        progressed = true;
+                                match steal_amount {
+                                    StealAmount::One => {
+                                        let taken = procs[victim].deque.steal_top();
+                                        nonempty.sync(victim, !procs[victim].deque.is_empty());
+                                        match taken {
+                                            Some(node) => {
+                                                procs[p].current =
+                                                    Some((node, dag.node(node).weight()));
+                                                procs[p].stats.steals += 1;
+                                                progressed = true;
+                                            }
+                                            None => procs[p].stats.failed_steals += 1,
+                                        }
                                     }
-                                    None => procs[p].stats.failed_steals += 1,
+                                    StealAmount::Half => {
+                                        // Transfer the top ceil(len/2)
+                                        // entries: the oldest becomes the
+                                        // thief's current node, the rest go
+                                        // into its deque oldest-topmost, so
+                                        // both deques keep their age order.
+                                        let take = procs[victim].deque.len().div_ceil(2);
+                                        stolen.clear();
+                                        for _ in 0..take {
+                                            match procs[victim].deque.steal_top() {
+                                                Some(n) => stolen.push(n),
+                                                None => break,
+                                            }
+                                        }
+                                        nonempty.sync(victim, !procs[victim].deque.is_empty());
+                                        match stolen.first().copied() {
+                                            Some(node) => {
+                                                procs[p].current =
+                                                    Some((node, dag.node(node).weight()));
+                                                for &n in &stolen[1..] {
+                                                    procs[p].deque.push_bottom(n);
+                                                }
+                                                nonempty.sync(p, !procs[p].deque.is_empty());
+                                                procs[p].stats.steals += 1;
+                                                progressed = true;
+                                            }
+                                            None => procs[p].stats.failed_steals += 1,
+                                        }
+                                    }
                                 }
                             }
                             _ => {

@@ -111,6 +111,15 @@ pub struct SimScratch {
     pub(crate) procs: Vec<Proc>,
     pub(crate) nonempty: NonEmptySet,
     pub(crate) candidates: Vec<usize>,
+    /// Per-candidate deque depths, parallel to `candidates` (the
+    /// [`crate::StealContext`] load view).
+    pub(crate) depths: Vec<usize>,
+    /// Per-candidate "victim's top block is resident in the thief's cache",
+    /// parallel to `candidates`; filled only for schedulers that ask for it
+    /// via [`crate::Scheduler::wants_residency`].
+    pub(crate) resident: Vec<bool>,
+    /// Staging buffer for multi-entry steals ([`crate::StealAmount::Half`]).
+    pub(crate) stolen: Vec<NodeId>,
     pub(crate) enabled: Vec<NodeId>,
     pub(crate) seq_prev: Vec<Option<NodeId>>,
     pub(crate) tracker: ReadyTracker,

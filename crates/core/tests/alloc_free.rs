@@ -166,3 +166,52 @@ fn fresh_scratch_amortizes_after_first_run() {
         "first run ({first}) must be the one paying the buffer growth"
     );
 }
+
+#[test]
+fn steal_half_and_residency_context_stay_allocation_free() {
+    // The E19 policy machinery must not reintroduce per-step allocation:
+    // `StealAmount::Half` stages multi-entry transfers in the scratch
+    // `stolen` buffer and `prefer_cached` fills the scratch residency
+    // view on every steal attempt — both reuse, never allocate, in steady
+    // state. Exercised through the most demanding `PolicyScheduler` point
+    // (MostLoaded needs the depth view too).
+    use wsf_core::{PolicyConfig, PolicyScheduler, StealAmount, VictimOrder};
+
+    let config = SimConfig {
+        processors: 8,
+        cache_lines: 16,
+        ..SimConfig::default()
+    };
+    let sim = ParallelSimulator::new(config);
+    let dag = random_single_touch(&RandomConfig {
+        target_nodes: 20_000,
+        seed: 12,
+        ..RandomConfig::default()
+    });
+    let seq = sim.sequential(&dag);
+    let mut scratch = SimScratch::new();
+
+    let run = |scratch: &mut SimScratch| -> u64 {
+        let mut sched = PolicyScheduler::new(PolicyConfig {
+            order: VictimOrder::MostLoaded,
+            amount: StealAmount::Half,
+            patience: 1,
+            prefer_cached: true,
+        });
+        let before = allocs();
+        let report = sim.run_with_scratch(&dag, &seq, &mut sched, false, scratch);
+        let count = allocs() - before;
+        assert!(report.completed);
+        count
+    };
+
+    let _warm = run(&mut scratch);
+    let steady = run(&mut scratch);
+    let steady_again = run(&mut scratch);
+    assert!(
+        steady <= 4,
+        "steady-state steal-half run allocated {steady} times; the staging \
+         and residency buffers must come from the scratch"
+    );
+    assert_eq!(steady, steady_again);
+}

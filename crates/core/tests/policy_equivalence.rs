@@ -1,0 +1,295 @@
+//! The E19 refactor's backward-compatibility contract: the legacy
+//! schedulers are *exact* `PolicyScheduler` configurations, pinned
+//! step-for-step at the trait level (randomized call sequences) and
+//! report-for-report at the full-simulation level — this is what makes the
+//! E11–E18 byte-identity across the refactor a theorem rather than a
+//! coincidence. Plus the `StealAmount::Half` invariants: exactly-once
+//! delivery and a consistent incrementally-maintained non-empty set.
+
+use wsf_core::{
+    ForkPolicy, ParallelSimulator, ParsimoniousScheduler, PolicyConfig, PolicyScheduler,
+    RandomScheduler, Scheduler, SimConfig, SimScratch, StealAmount, StealContext, VictimOrder,
+};
+use wsf_dag::NodeId;
+use wsf_workloads::random::{random_single_touch, RandomConfig};
+
+/// Deterministic xorshift64* for generating randomized call sequences
+/// (proptest-style sampling without the dependency).
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Drives `a` and `b` through an identical randomized sequence of trait
+/// calls (victim choices over varying candidate sets, completions, wake
+/// probes) and asserts every observable output matches.
+fn assert_step_for_step(
+    a: &mut dyn Scheduler,
+    b: &mut dyn Scheduler,
+    procs: usize,
+    steps: u64,
+    gen_seed: u64,
+) {
+    let mut rng = Xs(gen_seed | 1);
+    let mut candidates: Vec<usize> = Vec::new();
+    for step in 0..steps {
+        let thief = rng.below(procs as u64) as usize;
+        match rng.below(4) {
+            0 => {
+                let node = NodeId(rng.below(1000) as u32);
+                a.on_complete(thief, node, step);
+                b.on_complete(thief, node, step);
+            }
+            1 => {
+                assert_eq!(
+                    a.is_awake(thief, step),
+                    b.is_awake(thief, step),
+                    "step {step}"
+                );
+            }
+            _ => {
+                // A random candidate subset (possibly empty) of the other
+                // processors, ascending — the shape the simulator builds.
+                candidates.clear();
+                let mask = rng.next();
+                candidates.extend((0..procs).filter(|&q| q != thief && mask >> q & 1 == 1));
+                let ctx = StealContext::bare(&candidates);
+                assert_eq!(
+                    a.choose_victim(thief, &ctx),
+                    b.choose_victim(thief, &ctx),
+                    "step {step}, candidates {candidates:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn policy_lowest_one_matches_parsimonious_step_for_step() {
+    for patience in [0u32, 1, 2, 3, 7, 16] {
+        for gen_seed in [3u64, 11, 42, 2026] {
+            let mut policy = PolicyScheduler::new(PolicyConfig {
+                order: VictimOrder::LowestId,
+                amount: StealAmount::One,
+                patience,
+                prefer_cached: false,
+            });
+            let mut legacy = ParsimoniousScheduler::new(patience);
+            assert_step_for_step(&mut policy, &mut legacy, 6, 400, gen_seed);
+        }
+    }
+}
+
+#[test]
+fn policy_random_one_zero_matches_random_scheduler_step_for_step() {
+    // The equivalence includes RNG consumption: both draw exactly one
+    // `gen_range` per non-empty candidate list, so interleaving empty and
+    // non-empty calls must never desynchronize the streams.
+    for rng_seed in [0u64, 7, 0x5eed, u64::MAX] {
+        for gen_seed in [5u64, 23, 99] {
+            let mut policy = PolicyScheduler::new(PolicyConfig::ws_random(rng_seed));
+            let mut legacy = RandomScheduler::new(rng_seed);
+            assert_step_for_step(&mut policy, &mut legacy, 8, 400, gen_seed);
+        }
+    }
+}
+
+/// Two full simulations over the same DAG must produce identical reports.
+fn assert_reports_identical<S1: Scheduler, S2: Scheduler>(
+    config: SimConfig,
+    dag: &wsf_dag::Dag,
+    mut a: S1,
+    mut b: S2,
+) {
+    let sim = ParallelSimulator::new(config);
+    let seq = sim.sequential(dag);
+    let mut scratch = SimScratch::new();
+    let ra = sim.run_with_scratch(dag, &seq, &mut a, true, &mut scratch);
+    let rb = sim.run_with_scratch(dag, &seq, &mut b, true, &mut scratch);
+    assert!(ra.completed && rb.completed);
+    assert_eq!(ra.makespan, rb.makespan);
+    assert_eq!(ra.steals(), rb.steals());
+    assert_eq!(ra.deviations(), rb.deviations());
+    assert_eq!(ra.cache_misses(), rb.cache_misses());
+    let (ta, tb) = (ra.trace.as_ref().unwrap(), rb.trace.as_ref().unwrap());
+    assert_eq!(ta.len(), tb.len());
+    for (x, y) in ta.iter().zip(tb) {
+        assert_eq!((x.step, x.proc, x.node), (y.step, y.proc, y.node));
+    }
+}
+
+#[test]
+fn full_simulations_agree_between_policy_and_legacy_schedulers() {
+    let dag = random_single_touch(&RandomConfig {
+        target_nodes: 3_000,
+        seed: 13,
+        ..RandomConfig::default()
+    });
+    for fork_policy in ForkPolicy::ALL {
+        for processors in [2usize, 4, 8] {
+            let config = SimConfig {
+                processors,
+                cache_lines: 16,
+                fork_policy,
+                ..SimConfig::default()
+            };
+            assert_reports_identical(
+                config,
+                &dag,
+                PolicyScheduler::new(PolicyConfig::ws_random(config.seed)),
+                RandomScheduler::new(config.seed),
+            );
+            assert_reports_identical(
+                config,
+                &dag,
+                PolicyScheduler::new(PolicyConfig {
+                    order: VictimOrder::LowestId,
+                    amount: StealAmount::One,
+                    patience: 4,
+                    prefer_cached: false,
+                }),
+                ParsimoniousScheduler::new(4),
+            );
+        }
+    }
+}
+
+/// Runs `dag` under a half-stealing policy and asserts the two invariants
+/// the `StealAmount::Half` transfer must preserve: every node executes
+/// exactly once (the multi-entry transfer neither drops nor duplicates
+/// deque entries) and the run completes (the incrementally-maintained
+/// non-empty set stayed consistent on BOTH sides of the transfer — a stale
+/// entry for the drained victim or a missing one for the refilled thief
+/// starves the steal loop and blows the step budget).
+fn assert_half_steal_invariants(order: VictimOrder, processors: usize, dag: &wsf_dag::Dag) {
+    let config = SimConfig {
+        processors,
+        cache_lines: 16,
+        ..SimConfig::default()
+    };
+    let sim = ParallelSimulator::new(config);
+    let seq = sim.sequential(dag);
+    let mut scratch = SimScratch::new();
+    let mut sched = PolicyScheduler::new(PolicyConfig {
+        order,
+        amount: StealAmount::Half,
+        patience: 0,
+        prefer_cached: false,
+    });
+    let report = sim.run_with_scratch(dag, &seq, &mut sched, true, &mut scratch);
+    assert!(
+        report.completed,
+        "half-stealing run starved ({order:?}, P={processors})"
+    );
+    assert_eq!(report.executed(), dag.num_nodes() as u64);
+    let mut seen = vec![false; dag.num_nodes()];
+    for ev in report.trace.as_ref().unwrap() {
+        assert!(
+            !std::mem::replace(&mut seen[ev.node.0 as usize], true),
+            "node {:?} executed twice under steal-half",
+            ev.node
+        );
+    }
+    assert!(seen.iter().all(|&s| s), "steal-half dropped nodes");
+}
+
+#[test]
+fn steal_half_delivers_every_node_exactly_once() {
+    let wide = random_single_touch(&RandomConfig {
+        target_nodes: 4_000,
+        seed: 21,
+        ..RandomConfig::default()
+    });
+    let sort = wsf_workloads::sort::mergesort(256, 8);
+    for order in [
+        VictimOrder::Random(1),
+        VictimOrder::LowestId,
+        VictimOrder::RoundRobin,
+        VictimOrder::MostLoaded,
+        VictimOrder::LastVictim,
+    ] {
+        for processors in [2usize, 4, 8] {
+            assert_half_steal_invariants(order, processors, &wide);
+        }
+        assert_half_steal_invariants(order, 4, &sort);
+    }
+}
+
+#[test]
+fn theorem_bounds_hold_over_sampled_policy_points() {
+    // Theorem 8/10/12 conformance extended from the two legacy schedulers
+    // to sampled `PolicyScheduler` points: the deviation bound O(P·T∞²)
+    // (in the repo's constant-free reading, `bounds::thm8_deviations`) and
+    // the miss bound C·deviations hold for every policy in the composable
+    // space — the proofs only use work-stealing structure (steals happen
+    // into empty processors from deque tops), which every point preserves.
+    use wsf_core::bounds;
+
+    let dag = random_single_touch(&RandomConfig {
+        target_nodes: 2_000,
+        seed: 31,
+        ..RandomConfig::default()
+    });
+    let sampled = [
+        PolicyConfig::ws_random(9),
+        PolicyConfig::parsimonious(2),
+        PolicyConfig::ws_half(9),
+        PolicyConfig::rr_eager(),
+        PolicyConfig::loaded_frugal(),
+        PolicyConfig {
+            order: VictimOrder::LastVictim,
+            amount: StealAmount::Half,
+            patience: 1,
+            prefer_cached: true,
+        },
+    ];
+    for fork_policy in ForkPolicy::ALL {
+        for processors in [2usize, 4] {
+            let config = SimConfig {
+                processors,
+                cache_lines: 16,
+                fork_policy,
+                ..SimConfig::default()
+            };
+            let sim = ParallelSimulator::new(config);
+            let seq = sim.sequential(&dag);
+            let span = wsf_dag::span(&dag);
+            let mut scratch = SimScratch::new();
+            for cfg in sampled {
+                let mut sched = PolicyScheduler::new(cfg);
+                let report = sim.run_with_scratch(&dag, &seq, &mut sched, false, &mut scratch);
+                assert!(report.completed);
+                let dev = report.deviations();
+                let dev_bound = bounds::thm8_deviations(processors as u64, span);
+                assert!(
+                    dev <= dev_bound,
+                    "{cfg:?} at P={processors}: {dev} deviations exceed the \
+                     Theorem-8 bound {dev_bound}"
+                );
+                let extra = report.additional_misses(&seq);
+                let miss_bound = bounds::thm8_additional_misses(
+                    config.cache_lines as u64,
+                    processors as u64,
+                    span,
+                );
+                assert!(
+                    extra <= miss_bound,
+                    "{cfg:?} at P={processors}: {extra} extra misses exceed the \
+                     Theorem-8 miss bound {miss_bound}"
+                );
+            }
+        }
+    }
+}

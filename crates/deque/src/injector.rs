@@ -58,12 +58,19 @@
 //! the decrement on exit) — the price of bounding memory. (The protocol's
 //! other SeqCst upgrades are free where it matters: SC loads compile to
 //! the same instructions as acquire loads on x86 and aarch64, and the
-//! head/tail CASes were already locked RMWs.) The queue's other fast-path
-//! RMWs (`push_idx` fetch-add, `pop_idx` CAS) already serialize on shared
-//! lines, so the counters change constants, not the scaling class; a
-//! months-lived server that measures them as a bottleneck would stripe
-//! the parity counters per thread and sum the stripes at the
-//! once-per-`SEG_CAP` reclaim pass.
+//! head/tail CASes were already locked RMWs.) To keep those RMWs off a
+//! single shared line, each parity counter is **striped** across
+//! [`STRIPES`] cache-padded per-thread slots: an operation increments and
+//! decrements only its own thread's stripe (threads are assigned stripes
+//! round-robin on first use), and the stripes are summed only at the
+//! once-per-`SEG_CAP` reclaim pass. Striping changes nothing in the
+//! safety argument — "the parity counter is non-zero" becomes "some
+//! stripe of the parity is non-zero", and each stripe load is still
+//! SeqCst, so an in-flight registration at parity `p` keeps its own
+//! stripe non-zero and thereby blocks the advance exactly as a shared
+//! counter would (the sum is not read atomically, but stripes never go
+//! negative and a guard always decrements the stripe it incremented, so a
+//! per-stripe non-zero observation suffices).
 //!
 //! # Safety argument (summary)
 //!
@@ -105,7 +112,7 @@
 //!   `>= stamp + 1` loads `head`/`tail` only after the segment was
 //!   already off the chain, which (by the forward-only bullet above)
 //!   can never lead back to it. For the reachers: while an operation
-//!   registered at epoch `e <= stamp` is in flight, its parity counter
+//!   registered at epoch `e <= stamp` is in flight, its own stripe
 //!   keeps `active[e % 2]` non-zero, blocking the advance to
 //!   `e + 2 <= stamp + 2`; a free at epoch `>= stamp + 2` therefore
 //!   proves every one of them has exited. (Note an operation registered
@@ -126,6 +133,57 @@ use std::sync::{Mutex, OnceLock};
 
 /// Slots per segment.
 pub const SEG_CAP: usize = 64;
+
+/// Stripes per parity counter (power of two). Threads beyond this many
+/// share stripes round-robin — correctness never depends on a stripe
+/// being private, only contention does.
+pub const STRIPES: usize = 8;
+
+/// The calling thread's stripe index, assigned round-robin on first use.
+fn thread_stripe() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// One parity's in-flight count, striped per thread (see the module docs:
+/// operations touch only their own stripe; the reclaim pass sums).
+struct StripedCounter {
+    stripes: [CachePadded<AtomicUsize>; STRIPES],
+}
+
+impl StripedCounter {
+    fn new() -> Self {
+        StripedCounter {
+            stripes: std::array::from_fn(|_| CachePadded::new(AtomicUsize::new(0))),
+        }
+    }
+
+    /// The calling thread's stripe. The returned reference is what an
+    /// [`ActiveGuard`] holds, so the exit decrement hits the stripe the
+    /// entry incremented even if the guard outlives other activity.
+    fn stripe(&self) -> &AtomicUsize {
+        &self.stripes[thread_stripe()]
+    }
+
+    /// Sum over all stripes, one SeqCst load each. Zero proves the parity
+    /// drained: any still-in-flight registration's increment precedes the
+    /// corresponding stripe load in the SC order and has no matching
+    /// decrement yet, so its stripe reads non-zero.
+    fn sum(&self) -> usize {
+        self.stripes.iter().map(|s| s.load(Ordering::SeqCst)).sum()
+    }
+}
 
 /// Which injector operation a stall hook fired on.
 ///
@@ -214,8 +272,9 @@ pub struct Injector<T> {
     /// once `active[(epoch + 1) % 2]` has drained to zero.
     epoch: CachePadded<AtomicUsize>,
     /// In-flight `push`/`steal`/`is_empty` operations, counted by the
-    /// parity of the epoch they registered at (see `enter`).
-    active: [CachePadded<AtomicUsize>; 2],
+    /// parity of the epoch they registered at (see `enter`), striped per
+    /// thread to keep the fast-path RMWs off one shared line.
+    active: [StripedCounter; 2],
     /// Drained segments awaiting reuse (see the module docs).
     recycler: Mutex<Recycler<T>>,
     /// Segments ever allocated from the heap (diagnostics; the stress
@@ -255,10 +314,7 @@ impl<T: Send> Injector<T> {
             head: CachePadded::new(AtomicPtr::new(seg)),
             tail: CachePadded::new(AtomicPtr::new(seg)),
             epoch: CachePadded::new(AtomicUsize::new(0)),
-            active: [
-                CachePadded::new(AtomicUsize::new(0)),
-                CachePadded::new(AtomicUsize::new(0)),
-            ],
+            active: [StripedCounter::new(), StripedCounter::new()],
             recycler: Mutex::new(Recycler {
                 limbo: Vec::new(),
                 free: Vec::new(),
@@ -297,8 +353,9 @@ impl<T: Send> Injector<T> {
     /// are SeqCst, so they live in the single total order S. Re-validating
     /// `epoch` after the increment guarantees that, while the guard is
     /// held, the epoch can advance at most once past the registered value
-    /// `e`: the advance to `e + 2` must observe `active[e % 2] == 0`, and
-    /// this operation's increment precedes that check in S. Conversely, if
+    /// `e`: the advance to `e + 2` must observe every stripe of
+    /// `active[e % 2]` at zero, and this operation's increment of its own
+    /// stripe precedes that stripe's load in S. Conversely, if
     /// the re-validation fails the registration may be too late to be
     /// visible to an in-progress advance, so the operation backs out and
     /// retries against the new epoch. Advances happen at most once per
@@ -306,7 +363,7 @@ impl<T: Send> Injector<T> {
     fn enter(&self) -> ActiveGuard<'_> {
         loop {
             let e = self.epoch.load(Ordering::SeqCst);
-            let counter: &AtomicUsize = &self.active[e & 1];
+            let counter: &AtomicUsize = self.active[e & 1].stripe();
             counter.fetch_add(1, Ordering::SeqCst);
             if self.epoch.load(Ordering::SeqCst) == e {
                 return ActiveGuard(counter);
@@ -338,7 +395,7 @@ impl<T: Send> Injector<T> {
             // the stamping pass of any already-stamped entry (see the
             // module safety argument).
             let e = self.epoch.load(Ordering::SeqCst);
-            if self.active[(e + 1) & 1].load(Ordering::SeqCst) == 0 {
+            if self.active[(e + 1) & 1].sum() == 0 {
                 let _ = self.epoch.compare_exchange(
                     e,
                     e.wrapping_add(1),
@@ -753,6 +810,71 @@ mod tests {
             }
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stripes_drain_and_reclamation_advances_under_threaded_traffic() {
+        // Producers and consumers spread across more threads than stripes:
+        // every stripe combination sees traffic, reclamation must still
+        // advance the epoch (bounded allocations), and once the threads
+        // join every stripe of both parities must have drained to zero —
+        // the invariant the reclaim pass's sum() check relies on.
+        use std::sync::Arc;
+        let q: Arc<Injector<usize>> = Arc::new(Injector::new());
+        let threads = STRIPES + 3; // force stripe sharing
+        let per_thread = SEG_CAP * 20;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut got = 0;
+                    for i in 0..per_thread {
+                        q.push(t * per_thread + i);
+                        if q.steal().is_some() {
+                            got += 1;
+                        }
+                    }
+                    while got < per_thread {
+                        if q.steal().is_some() {
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(q.is_empty());
+        for parity in &q.active {
+            for stripe in &parity.stripes {
+                assert_eq!(stripe.load(Ordering::SeqCst), 0, "stripe left non-zero");
+            }
+        }
+        // With the threads joined, drive quiescent bounded traffic: every
+        // enter/exit is now fully paired, so the striped zero-check must
+        // let the epoch advance at every segment boundary and recycling
+        // must resume. (A stripe leaked by the contended phase would block
+        // every future advance and make each round below allocate.) The
+        // contended phase itself is exempt from an allocation bound: on an
+        // oversubscribed box a preempted in-flight operation legitimately
+        // holds its parity non-zero for a scheduling quantum.
+        let before = q.segments_allocated();
+        let mut expected = threads * per_thread;
+        for _ in 0..100 {
+            for i in 0..SEG_CAP {
+                q.push(expected + i);
+            }
+            for _ in 0..SEG_CAP {
+                assert_eq!(q.steal(), Some(expected));
+                expected += 1;
+            }
+        }
+        assert!(
+            q.segments_allocated() - before <= 6,
+            "{} fresh segments over 100 quiescent rounds — striped \
+             reclamation wedged after contention",
+            q.segments_allocated() - before
+        );
     }
 
     #[test]

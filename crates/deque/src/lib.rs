@@ -36,5 +36,5 @@ pub mod injector;
 pub mod sim;
 
 pub use chase_lev::{deque, Steal, Stealer, Worker};
-pub use injector::{Injector, StallSite, SEG_CAP};
+pub use injector::{Injector, StallSite, SEG_CAP, STRIPES};
 pub use sim::SimDeque;

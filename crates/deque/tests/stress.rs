@@ -342,6 +342,86 @@ fn injector_retention_stays_bounded_not_linear_in_pushes() {
 }
 
 #[test]
+fn injector_striped_counters_survive_stripe_sharing() {
+    // The parity counters are striped per thread (STRIPES slots, assigned
+    // round-robin), so run MORE threads than stripes: several threads then
+    // share a stripe, and the reclaim pass's "sum of stripes is zero"
+    // check must still be exact — no lost or duplicated items, and
+    // recycling must still bound the allocation count (a wrongly-drained
+    // parity would instead free a reachable segment and corrupt delivery;
+    // a never-draining one would stall reclamation into linear retention).
+    use wsf_deque::{SEG_CAP, STRIPES};
+
+    let threads = STRIPES + 4;
+    let per_thread = 64 * SEG_CAP;
+    let q: Injector<usize> = Injector::new();
+    let received: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let q = &q;
+            let received = &received;
+            scope.spawn(move || {
+                // Every thread is both producer and consumer, so each
+                // registers in its stripe from both operation sites and
+                // the queue stays near-empty (any growth is retention).
+                let mut local = Vec::new();
+                for i in 0..per_thread {
+                    q.push(t * per_thread + i);
+                    if let Some(v) = q.steal() {
+                        local.push(v);
+                    }
+                }
+                let mut misses = 0usize;
+                while local.len() < per_thread && misses < 1_000_000 {
+                    match q.steal() {
+                        Some(v) => local.push(v),
+                        None => {
+                            misses += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                received.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    // Threads drain exactly as many items as they pushed, so globally
+    // every item arrives exactly once (stragglers would show up here).
+    let total = threads * per_thread;
+    let mut delivered = received.into_inner().unwrap();
+    while let Some(v) = q.steal() {
+        delivered.push(v); // bounded-miss consumers may leave a tail
+    }
+    assert_exactly_once(delivered, total, "striped-counter stripe sharing");
+
+    // Reclamation must have survived the stripe sharing: with the threads
+    // joined every stripe is drained, so quiescent bounded traffic must
+    // recycle (a stripe left non-zero by a lost decrement would block
+    // every future epoch advance and make each round below allocate; the
+    // contended phase itself carries no allocation bound — on an
+    // oversubscribed box a preempted in-flight operation legitimately
+    // holds its parity non-zero for a scheduling quantum).
+    let before = q.segments_allocated();
+    for round in 0..100usize {
+        for i in 0..SEG_CAP {
+            q.push(total + round * SEG_CAP + i);
+        }
+        for i in 0..SEG_CAP {
+            assert_eq!(q.steal(), Some(total + round * SEG_CAP + i));
+        }
+    }
+    assert!(
+        q.segments_allocated() - before <= 6,
+        "{} fresh segments over 100 quiescent rounds — striped reclamation \
+         wedged after {} segment lifetimes of contended traffic",
+        q.segments_allocated() - before,
+        total / SEG_CAP
+    );
+}
+
+#[test]
 fn injector_recycles_under_sustained_contention() {
     // REVIEW follow-up: recycling must make progress while producers and
     // consumers are *continuously* in flight, not only at single-operation
