@@ -1903,6 +1903,284 @@ pub fn e19_scheduler_tournament_with_specs(scale: Scale, specs: &[PolicySpec]) -
     vec![scores, front, promoted]
 }
 
+/// The E20 tenant roster: E19-promoted policy points on distinct
+/// simulated machines, each with its own seed — every tenant's
+/// per-submission counters are fully determined by (policy, machine,
+/// seed, shape), which is what makes the E20 tables reproducible.
+fn e20_tenants(scale: Scale) -> Vec<(&'static str, wsf_server::TenantSpec)> {
+    use wsf_core::PolicyConfig;
+    use wsf_server::TenantSpec;
+    let tenant = |policy, processors, cache_lines, seed| TenantSpec {
+        policy,
+        processors,
+        cache_lines,
+        fork_policy: ForkPolicy::FutureFirst,
+        seed,
+    };
+    let mut tenants = vec![
+        (
+            "ws-half",
+            tenant(PolicyConfig::ws_half(0x2001), 4, 64, 0x2001),
+        ),
+        (
+            "ws-rr-eager",
+            tenant(PolicyConfig::rr_eager(), 2, 32, 0x2002),
+        ),
+    ];
+    if scale == Scale::Full {
+        tenants.push((
+            "ws-loaded-frugal",
+            tenant(PolicyConfig::loaded_frugal(), 8, 128, 0x2003),
+        ));
+        tenants.push((
+            "parsimonious",
+            tenant(PolicyConfig::parsimonious(4), 4, 64, 0x2004),
+        ));
+    }
+    tenants
+}
+
+/// Human-readable shape label for the E20 tables.
+fn e20_shape_label(spec: &wsf_workloads::submission::ShapeSpec) -> String {
+    use wsf_workloads::submission::ShapeSpec;
+    match *spec {
+        ShapeSpec::Mergesort { leaves } => format!("mergesort/{leaves}"),
+        ShapeSpec::Stencil { rows, width, steps } => {
+            format!("stencil/{rows}x{width}x{steps}")
+        }
+        ShapeSpec::Pipeline {
+            stages,
+            items,
+            window,
+            work,
+        } => format!("pipeline/{stages}x{items}w{window}k{work}"),
+    }
+}
+
+/// E20 — futures as a service: a real `wsf-server` instance is bound on a
+/// TCP loopback socket and driven through the wire protocol with a
+/// scripted zipfian multi-tenant mix of the workload-suite shapes
+/// (mergesort / stencil / batched pipeline). Every completion the server
+/// returns is checked against a local replay of the same (tenant, shape)
+/// cell on this process's simulator — the per-tenant deterministic-seed
+/// contract means the server's misses and deviations must equal the
+/// replay's exactly, no matter how submissions interleaved across
+/// executors on the way there. The tables keep only replay-determined
+/// columns (latency and throughput are printed to stderr), so they render
+/// byte-identically at every `--threads` setting and across runs.
+pub fn e20_futures_service(scale: Scale) -> Vec<Table> {
+    use std::time::{Duration, Instant};
+    use wsf_server::{
+        AdmissionMode, BenchClient, LatencyRecorder, Server, ServerConfig, ZipfSampler, STATUS_OK,
+    };
+    use wsf_workloads::submission::{ShapeScratch, ShapeSpec};
+
+    let tenants = e20_tenants(scale);
+    let shapes: [ShapeSpec; 3] = scale.pick(
+        ShapeSpec::smoke_mix(),
+        [
+            ShapeSpec::Mergesort { leaves: 256 },
+            ShapeSpec::Stencil {
+                rows: 16,
+                width: 32,
+                steps: 8,
+            },
+            ShapeSpec::Pipeline {
+                stages: 6,
+                items: 64,
+                window: 8,
+                work: 2,
+            },
+        ],
+    );
+    let total = scale.pick(24usize, 240);
+    let batch = 8usize;
+
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            runtime_threads: scale.pick(2, 4),
+            executors: 2,
+            admission: AdmissionMode::QueueAll,
+            tenants: tenants.iter().map(|&(_, t)| t).collect(),
+            fault_hooks: None,
+        },
+    )
+    .expect("bind E20 server");
+    let mut client =
+        BenchClient::connect_tcp(server.tcp_addr().expect("tcp addr")).expect("connect");
+
+    // The scripted zipfian schedule: tenant popularity is zipf(s = 1.1)
+    // over the roster, shapes cycle through the suite. Seeded, so the
+    // expected per-tenant tallies below replay the same script.
+    let mut zipf = ZipfSampler::new(tenants.len(), 1.1, 0xE20_5EED);
+    let schedule: Vec<(usize, usize)> = (0..total)
+        .map(|k| (zipf.sample(), k % shapes.len()))
+        .collect();
+
+    let started = Instant::now();
+    let mut staged: Vec<Vec<(u64, ShapeSpec)>> = vec![Vec::new(); tenants.len()];
+    for (k, &(t, s)) in schedule.iter().enumerate() {
+        staged[t].push((k as u64 + 1, shapes[s]));
+        if staged[t].len() == batch {
+            client.submit_batch(t as u64, &staged[t]).expect("submit");
+            staged[t].clear();
+        }
+    }
+    for (t, pending) in staged.iter().enumerate() {
+        if !pending.is_empty() {
+            client.submit_batch(t as u64, pending).expect("submit");
+        }
+    }
+
+    let mut completions = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while completions.len() < total {
+        assert!(
+            Instant::now() < deadline,
+            "E20 timed out at {}/{total} completions",
+            completions.len()
+        );
+        client
+            .recv_completions(&mut completions, Duration::from_secs(5))
+            .expect("recv completions");
+    }
+    let wall = started.elapsed();
+
+    // Ground truth: one local replay per (tenant, shape) cell.
+    let replay: Vec<Vec<(u64, u64)>> = tenants
+        .iter()
+        .map(|(_, tenant)| {
+            shapes
+                .iter()
+                .map(|shape| {
+                    let mut b = DagBuilder::new();
+                    let mut scratch = ShapeScratch::new();
+                    let dag = shape.build_into(&mut b, &mut scratch);
+                    let sim = ParallelSimulator::new(tenant.sim_config());
+                    let seq = sim.sequential(&dag);
+                    let mut sched = wsf_core::PolicyScheduler::new(tenant.policy);
+                    let report = sim.run_against(&dag, &seq, &mut sched, false);
+                    (report.cache_misses(), report.deviations())
+                })
+                .collect()
+        })
+        .collect();
+
+    // Check every completion against its cell's replay; aggregate per cell.
+    let mut subs = vec![vec![0u64; shapes.len()]; tenants.len()];
+    let mut matched = vec![vec![true; shapes.len()]; tenants.len()];
+    let mut latency = LatencyRecorder::new();
+    for c in &completions {
+        let k = (c.request_id - 1) as usize;
+        let (t, s) = schedule[k];
+        subs[t][s] += 1;
+        let (misses, deviations) = replay[t][s];
+        if c.status != STATUS_OK
+            || c.misses != misses
+            || c.deviations != deviations
+            || c.footprint != shapes[s].footprint()
+        {
+            matched[t][s] = false;
+        }
+        latency.record(c.micros);
+    }
+
+    let mut per_cell = Table::new(
+        format!(
+            "E20 / futures as a service — scripted zipfian mix ({total} submissions, \
+             {} tenants, TCP loopback), server vs local replay",
+            tenants.len()
+        ),
+        &[
+            "tenant",
+            "policy",
+            "P",
+            "C",
+            "shape",
+            "subs",
+            "footprint",
+            "misses/sub",
+            "devs/sub",
+            "server == replay",
+        ],
+    );
+    for (t, (name, tenant)) in tenants.iter().enumerate() {
+        for (s, shape) in shapes.iter().enumerate() {
+            let (misses, deviations) = replay[t][s];
+            per_cell.push_row(vec![
+                t.to_string(),
+                name.to_string(),
+                tenant.processors.to_string(),
+                tenant.cache_lines.to_string(),
+                e20_shape_label(shape),
+                subs[t][s].to_string(),
+                shape.footprint().to_string(),
+                misses.to_string(),
+                deviations.to_string(),
+                if matched[t][s] { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+
+    // Per-tenant accounting: the server's own tallies must equal the sums
+    // the schedule and the replay predict.
+    let mut summary = Table::new(
+        "E20 / per-tenant accounting — server tallies vs schedule × replay",
+        &[
+            "tenant",
+            "policy",
+            "sent",
+            "completed",
+            "shed",
+            "failed",
+            "inflight",
+            "misses",
+            "deviations",
+            "tallies match",
+        ],
+    );
+    for (t, (name, _)) in tenants.iter().enumerate() {
+        let sent: u64 = subs[t].iter().sum();
+        let misses: u64 = (0..shapes.len()).map(|s| subs[t][s] * replay[t][s].0).sum();
+        let deviations: u64 = (0..shapes.len()).map(|s| subs[t][s] * replay[t][s].1).sum();
+        let r = server.core().tenant_report(t);
+        let ok = r.completed == sent
+            && r.shed == 0
+            && r.failed == 0
+            && r.inflight == 0
+            && r.misses == misses
+            && r.deviations == deviations;
+        summary.push_row(vec![
+            t.to_string(),
+            name.to_string(),
+            sent.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            r.failed.to_string(),
+            r.inflight.to_string(),
+            r.misses.to_string(),
+            r.deviations.to_string(),
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    // Latency and throughput are measured wall-clock quantities — honest
+    // but machine-dependent, so they go to stderr, never into the tables.
+    eprintln!(
+        "E20: {total} submissions in {wall:.2?} ({:.0} DAGs/sec), latency p50 {} us, \
+         p99 {} us, p999 {} us",
+        total as f64 / wall.as_secs_f64().max(1e-9),
+        latency.quantile(0.50),
+        latency.quantile(0.99),
+        latency.quantile(0.999),
+    );
+
+    let report = server.shutdown(Duration::from_secs(30));
+    assert!(report.drained, "E20 server failed to drain at shutdown");
+    vec![per_cell, summary]
+}
+
 fn fib_reference(n: u64) -> u64 {
     let (mut a, mut b) = (0u64, 1u64);
     for _ in 0..n {
@@ -1935,6 +2213,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e17_miss_ratio_curves(scale));
     tables.extend(e18_streaming_epochs(scale));
     tables.extend(e19_scheduler_tournament(scale));
+    tables.extend(e20_futures_service(scale));
     tables
 }
 
@@ -1995,6 +2274,11 @@ pub fn registry() -> Vec<Experiment> {
             "scheduler tournament over the composable steal-policy space (Pareto front)",
             e19_scheduler_tournament,
         ),
+        (
+            "e20",
+            "futures as a service (wsf-server over TCP, zipfian multi-tenant mix)",
+            e20_futures_service,
+        ),
     ]
 }
 
@@ -2024,11 +2308,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 19);
+        assert_eq!(reg.len(), 20);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
     }
 
     #[test]

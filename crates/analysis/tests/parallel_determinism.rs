@@ -70,6 +70,10 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
         experiments::e17_miss_ratio_curves,
         experiments::e18_streaming_epochs,
         experiments::e19_scheduler_tournament,
+        // E20 drives a real TCP server; its tables keep only columns
+        // determined by the scripted schedule and the per-tenant replay
+        // (latency goes to stderr), so they too must render identically.
+        experiments::e20_futures_service,
     ];
     for runner in runners {
         set_threads(1);

@@ -1,0 +1,121 @@
+//! Property tests for the [`PolicySpec`] textual form: `Display` and
+//! [`PolicySpec::parse`] must round-trip over the whole steal-policy
+//! space — the 80-point tournament grid, the named presets, and arbitrary
+//! points including random-victim seeds — and `parse` must reject (never
+//! panic on, never silently mangle) invalid input. The textual form is
+//! load-bearing: experiment tables, the harness's `--schedulers` flag and
+//! the E19 promotion report all identify policies by it.
+
+use proptest::prelude::*;
+use wsf_analysis::{policy_space, OrderSpec, PolicySpec};
+use wsf_core::StealAmount;
+
+/// The deterministic backbone: every point of the E19 tournament grid
+/// (5 orders x 2 amounts x 4 patiences x 2 cache flags = 80) and every
+/// named preset round-trips exactly.
+#[test]
+fn the_tournament_grid_and_presets_round_trip() {
+    let grid = policy_space();
+    assert_eq!(grid.len(), 80, "the tournament grid is the 80-point space");
+    for spec in grid {
+        let text = spec.to_string();
+        assert_eq!(PolicySpec::parse(&text), Ok(spec), "round trip of {text:?}");
+    }
+    for (name, spec) in PolicySpec::NAMED {
+        assert_eq!(spec.to_string(), *name, "presets print their table name");
+        assert_eq!(PolicySpec::parse(name).as_ref(), Ok(spec));
+    }
+}
+
+/// An arbitrary point of the policy space: any victim order (with any
+/// explicit random seed), either steal amount, any `u32` patience, both
+/// cache-preference flags.
+fn arb_spec() -> impl Strategy<Value = PolicySpec> {
+    (
+        0u8..6,
+        any::<u64>(),
+        any::<bool>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(tag, seed, half, patience, prefer_cached)| PolicySpec {
+            order: match tag {
+                0 => OrderSpec::Random(None),
+                1 => OrderSpec::Random(Some(seed)),
+                2 => OrderSpec::LowestId,
+                3 => OrderSpec::RoundRobin,
+                4 => OrderSpec::MostLoaded,
+                _ => OrderSpec::LastVictim,
+            },
+            amount: if half {
+                StealAmount::Half
+            } else {
+                StealAmount::One
+            },
+            patience,
+            prefer_cached,
+        })
+}
+
+/// Arbitrary strings over the policy grammar's own alphabet — the inputs
+/// most likely to be *nearly* valid.
+fn arb_grammar_soup() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789+@, -";
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..24)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i] as char).collect())
+}
+
+proptest! {
+    /// Any point of the space — including explicit `random@SEED` seeds and
+    /// patience values far off the grid — survives print-then-parse.
+    #[test]
+    fn any_spec_round_trips(spec in arb_spec()) {
+        let text = spec.to_string();
+        prop_assert_eq!(PolicySpec::parse(&text), Ok(spec), "{}", text);
+    }
+
+    /// `parse` never panics, whatever bytes arrive (harness flags are
+    /// user-typed) — and anything it does accept is *stable*: printing the
+    /// accepted spec and parsing again yields the same spec, so no input
+    /// is silently mangled into a different policy on a save/load cycle.
+    #[test]
+    fn grammar_soup_is_rejected_or_stable(s in arb_grammar_soup()) {
+        if let Ok(spec) = PolicySpec::parse(&s) {
+            prop_assert_eq!(PolicySpec::parse(&spec.to_string()), Ok(spec));
+        }
+    }
+
+    /// An unknown modifier token can never sneak through after a valid
+    /// order prefix. (`half` and `cache` cannot be drawn: the first
+    /// character is past `h` in the alphabet and `pN` needs a digit.)
+    #[test]
+    fn unknown_modifiers_are_rejected(ix in proptest::collection::vec(0usize..18, 1..7)) {
+        const TAIL: &[u8] = b"qrstuvwxyzijklmnop";
+        let junk: String = ix.into_iter().map(|i| TAIL[i] as char).collect();
+        prop_assert!(
+            PolicySpec::parse(&format!("lowest+{junk}")).is_err(),
+            "modifier {junk:?} must be rejected",
+        );
+    }
+}
+
+/// The fixed rejection cases the harness documentation promises.
+#[test]
+fn documented_invalid_forms_are_rejected() {
+    for bad in [
+        "",
+        "speediest",
+        "random@",
+        "random@notanumber",
+        "random@-3",
+        "lowest+pfour",
+        "lowest+p",
+        "lowest+double",
+        "rr++",
+        "+half",
+    ] {
+        assert!(PolicySpec::parse(bad).is_err(), "{bad:?} must be rejected");
+    }
+    assert!(PolicySpec::parse_list("").is_err());
+    assert!(PolicySpec::parse_list("ws-random,,parsimonious").is_err());
+}

@@ -39,6 +39,10 @@ pub struct DagBuilder {
     /// One past the largest block id ever assigned (maintained by
     /// [`DagBuilder::set_block`] so `finish` needs no extra node pass).
     block_space: u32,
+    /// Pool of empty per-thread node buffers reclaimed by
+    /// [`DagBuilder::recycle`]; [`DagBuilder::fork`] draws from it so a
+    /// recycled builder creates threads without allocating.
+    spare: Vec<Vec<NodeId>>,
 }
 
 impl Default for DagBuilder {
@@ -66,6 +70,7 @@ impl DagBuilder {
             threads: Vec::with_capacity(threads.max(1)),
             sync_only: Vec::with_capacity(nodes),
             block_space: 0,
+            spare: Vec::new(),
         };
         let main = ThreadData::new(ThreadId::MAIN, None, None);
         b.threads.push(main);
@@ -223,8 +228,13 @@ impl DagBuilder {
     pub fn try_fork(&mut self, thread: ThreadId) -> Result<Fork, DagError> {
         let fork_node = self.try_task(thread)?;
         let new_tid = ThreadId::from_index(self.threads.len());
-        self.threads
-            .push(ThreadData::new(new_tid, Some(thread), Some(fork_node)));
+        let buf = self.spare.pop().unwrap_or_default();
+        self.threads.push(ThreadData::with_buffer(
+            new_tid,
+            Some(thread),
+            Some(fork_node),
+            buf,
+        ));
         let first = self.new_node(new_tid);
         self.connect(fork_node, first, EdgeKind::Future);
         Ok(Fork {
@@ -370,6 +380,93 @@ impl DagBuilder {
     /// is not otherwise synchronized to the final node (Section 6.2).
     pub fn finish_with_super_final(self) -> Result<Dag, DagError> {
         self.finish_inner(true, true)
+    }
+
+    /// Like [`DagBuilder::finish`], but by mutable reference: takes the
+    /// built DAG out of the builder, leaving it *spent* (no threads, no
+    /// nodes) but still holding its spare-buffer pool. A spent builder must
+    /// be revived with [`DagBuilder::recycle`] or [`DagBuilder::reset`]
+    /// before further appends.
+    ///
+    /// Together with `recycle`, this is the arena workflow of long-lived
+    /// builders (one per server connection): `build → finish_take → execute
+    /// → recycle` performs no steady-state allocation once the pooled
+    /// buffers have grown to the traffic's working set.
+    pub fn finish_take(&mut self) -> Result<Dag, DagError> {
+        self.finish_take_inner(true, false)
+    }
+
+    /// [`DagBuilder::finish_with_super_final`] by mutable reference; see
+    /// [`DagBuilder::finish_take`].
+    pub fn finish_take_with_super_final(&mut self) -> Result<Dag, DagError> {
+        self.finish_take_inner(true, true)
+    }
+
+    fn finish_take_inner(
+        &mut self,
+        require_sync: bool,
+        super_final: bool,
+    ) -> Result<Dag, DagError> {
+        let spare = std::mem::take(&mut self.spare);
+        let taken = std::mem::replace(self, DagBuilder::spent());
+        self.spare = spare;
+        taken.finish_inner(require_sync, super_final)
+    }
+
+    /// A builder with no threads and no root — the post-`finish_take`
+    /// state. Performs no allocation.
+    fn spent() -> Self {
+        DagBuilder {
+            nodes: Vec::new(),
+            threads: Vec::new(),
+            sync_only: Vec::new(),
+            block_space: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Reabsorbs a finished DAG's backing storage and resets to the
+    /// fresh-builder state (main thread + root node).
+    ///
+    /// The DAG's node/thread/flag vectors become the builder's own and every
+    /// per-thread node buffer joins the spare pool, so rebuilding a DAG of
+    /// similar shape allocates nothing.
+    pub fn recycle(&mut self, dag: Dag) {
+        let Dag {
+            nodes,
+            threads,
+            sync_only,
+            ..
+        } = dag;
+        let old = std::mem::replace(&mut self.threads, threads);
+        for t in old {
+            let mut buf = t.into_nodes();
+            buf.clear();
+            self.spare.push(buf);
+        }
+        self.nodes = nodes;
+        self.sync_only = sync_only;
+        self.reset();
+    }
+
+    /// Clears the builder back to the fresh state (main thread containing
+    /// only the root node) while keeping all backing storage for reuse.
+    /// Also revives a builder spent by [`DagBuilder::finish_take`].
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.sync_only.clear();
+        self.block_space = 0;
+        let mut threads = std::mem::take(&mut self.threads);
+        for t in threads.drain(..) {
+            let mut buf = t.into_nodes();
+            buf.clear();
+            self.spare.push(buf);
+        }
+        self.threads = threads;
+        let buf = self.spare.pop().unwrap_or_default();
+        self.threads
+            .push(ThreadData::with_buffer(ThreadId::MAIN, None, None, buf));
+        self.new_node(ThreadId::MAIN);
     }
 
     fn finish_inner(mut self, require_sync: bool, super_final: bool) -> Result<Dag, DagError> {
@@ -595,6 +692,85 @@ mod tests {
         let dag = b.finish().unwrap();
         assert_eq!(dag.num_touches(), 0);
         assert_eq!(dag.num_touch_nodes(), 1);
+    }
+
+    fn build_fork_join(b: &mut DagBuilder, chain: usize) {
+        let main = b.main_thread();
+        let f = b.fork(main);
+        b.chain(f.future_thread, chain);
+        b.task(main);
+        b.touch_thread(main, f.future_thread);
+    }
+
+    #[test]
+    fn finish_take_then_recycle_round_trips() {
+        let mut b = DagBuilder::new();
+        build_fork_join(&mut b, 3);
+        let dag1 = b.finish_take().unwrap();
+        assert_eq!(dag1.num_threads(), 2);
+
+        // Spent builder revives through recycle and rebuilds an identical
+        // DAG from the pooled storage.
+        b.recycle(dag1);
+        assert_eq!(b.num_nodes(), 1, "recycle resets to root-only");
+        assert_eq!(b.num_threads(), 1);
+        build_fork_join(&mut b, 3);
+        let dag2 = b.finish_take().unwrap();
+        assert_eq!(dag2.num_threads(), 2);
+        assert_eq!(dag2.num_touches(), 1);
+        assert!(dag2.check_edge_invariants());
+    }
+
+    #[test]
+    fn recycle_reuses_capacity_across_shapes() {
+        let mut b = DagBuilder::new();
+        build_fork_join(&mut b, 8);
+        let dag = b.finish_take().unwrap();
+        let node_cap_hint = dag.num_nodes();
+        b.recycle(dag);
+        // A smaller build after recycling a larger one must still validate,
+        // and blocks set in round one must not leak into round two.
+        let main = b.main_thread();
+        let n = b.task(main);
+        b.set_block(n, Block(7));
+        let f = b.fork(main);
+        b.task(f.future_thread);
+        b.task(main);
+        b.touch_thread(main, f.future_thread);
+        let dag2 = b.finish_take().unwrap();
+        assert!(dag2.num_nodes() <= node_cap_hint);
+        assert_eq!(dag2.block_space(), 8);
+        b.recycle(dag2);
+        let main = b.main_thread();
+        let f = b.fork(main);
+        b.task(f.future_thread);
+        b.task(main);
+        b.touch_thread(main, f.future_thread);
+        let dag3 = b.finish_take().unwrap();
+        assert_eq!(dag3.block_space(), 0, "block_space resets per build");
+    }
+
+    #[test]
+    fn reset_revives_spent_builder() {
+        let mut b = DagBuilder::new();
+        build_fork_join(&mut b, 1);
+        let _dag = b.finish_take().unwrap();
+        b.reset();
+        build_fork_join(&mut b, 2);
+        assert!(b.finish_take().is_ok());
+    }
+
+    #[test]
+    fn finish_take_with_super_final_matches_by_value_variant() {
+        let mut b = DagBuilder::new();
+        let main = b.main_thread();
+        let f = b.fork(main);
+        b.task(f.future_thread);
+        b.task(main);
+        let dag = b.finish_take_with_super_final().unwrap();
+        assert!(dag.has_super_final_node());
+        b.recycle(dag);
+        assert_eq!(b.num_nodes(), 1);
     }
 
     #[test]

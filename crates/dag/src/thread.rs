@@ -85,6 +85,29 @@ impl ThreadData {
     pub(crate) fn push_node(&mut self, node: NodeId) {
         self.nodes.push(node);
     }
+
+    /// Like [`ThreadData::new`], but reusing `nodes` as the backing buffer
+    /// (cleared). Lets [`crate::DagBuilder::recycle`] rebuild threads
+    /// without per-thread allocation.
+    pub(crate) fn with_buffer(
+        id: ThreadId,
+        parent: Option<ThreadId>,
+        fork: Option<NodeId>,
+        mut nodes: Vec<NodeId>,
+    ) -> Self {
+        nodes.clear();
+        ThreadData {
+            id,
+            parent,
+            fork,
+            nodes,
+        }
+    }
+
+    /// Consumes the thread, returning its node buffer for reuse.
+    pub(crate) fn into_nodes(self) -> Vec<NodeId> {
+        self.nodes
+    }
 }
 
 #[cfg(test)]

@@ -422,6 +422,94 @@ fn injector_striped_counters_survive_stripe_sharing() {
 }
 
 #[test]
+fn injector_push_batch_exactly_once_under_contention() {
+    // ISSUE-9 satellite: batched ingest must keep the exactly-once
+    // guarantee while racing scalar producers and concurrent consumers.
+    // Batch sizes are mixed (including > SEG_CAP, so single batches span
+    // segment installs) and producers alternate batch/scalar pushes so
+    // slot runs interleave with single-slot claims on the same segments.
+    use wsf_deque::SEG_CAP;
+
+    let producers = 3usize;
+    let consumers = 3usize;
+    let batches_per_producer = 120usize;
+    let sizes = [1usize, 5, SEG_CAP - 3, SEG_CAP, SEG_CAP + 9, 2 * SEG_CAP];
+    let per_producer: usize = (0..batches_per_producer)
+        .map(|b| sizes[b % sizes.len()])
+        .sum();
+
+    let q: Injector<usize> = Injector::new();
+    let received: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let live_producers = AtomicUsize::new(producers);
+
+    std::thread::scope(|scope| {
+        for t in 0..producers {
+            let q = &q;
+            let live_producers = &live_producers;
+            scope.spawn(move || {
+                let mut next = t * per_producer;
+                for b in 0..batches_per_producer {
+                    let size = sizes[b % sizes.len()];
+                    if b % 3 == 2 {
+                        // Every third batch goes through the scalar path so
+                        // both claim disciplines share segments.
+                        for v in next..next + size {
+                            q.push(v);
+                        }
+                    } else {
+                        q.push_batch(next..next + size);
+                    }
+                    next += size;
+                }
+                live_producers.fetch_sub(1, Ordering::Release);
+            });
+        }
+        for _ in 0..consumers {
+            let q = &q;
+            let received = &received;
+            let live_producers = &live_producers;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    match q.steal() {
+                        Some(v) => local.push(v),
+                        None => {
+                            if live_producers.load(Ordering::Acquire) == 0 && q.steal().is_none() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                received.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let total = producers * per_producer;
+    assert_exactly_once(received.into_inner().unwrap(), total, "batched producers");
+
+    // Reclamation progress: with the contended phase joined (every stripe
+    // drained), quiescent batched traffic must recycle segments rather
+    // than allocate per round — the same bound the scalar-path tests pin.
+    let before = q.segments_allocated();
+    for round in 0..100usize {
+        let base = total + round * 2 * SEG_CAP;
+        q.push_batch(base..base + 2 * SEG_CAP);
+        for i in 0..2 * SEG_CAP {
+            assert_eq!(q.steal(), Some(base + i));
+        }
+    }
+    assert!(
+        q.segments_allocated() - before <= 8,
+        "{} fresh segments over 100 quiescent batched rounds — push_batch \
+         wedged reclamation",
+        q.segments_allocated() - before
+    );
+    assert!(q.segments_parked() <= q.segments_allocated());
+}
+
+#[test]
 fn injector_recycles_under_sustained_contention() {
     // REVIEW follow-up: recycling must make progress while producers and
     // consumers are *continuously* in flight, not only at single-operation

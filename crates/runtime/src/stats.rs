@@ -89,6 +89,22 @@ impl RuntimeStats {
         }
     }
 
+    /// Field-wise accumulation of a delta into a running total, saturating.
+    /// Per-tenant accounting takes [`RuntimeStats::since`] deltas bracketing
+    /// each submission window and folds them into the tenant's tally.
+    pub fn accumulate(&mut self, delta: &RuntimeStats) {
+        self.tasks_executed = self.tasks_executed.saturating_add(delta.tasks_executed);
+        self.steals = self.steals.saturating_add(delta.steals);
+        self.failed_steals = self.failed_steals.saturating_add(delta.failed_steals);
+        self.futures_created = self.futures_created.saturating_add(delta.futures_created);
+        self.touches = self.touches.saturating_add(delta.touches);
+        self.inline_runs = self.inline_runs.saturating_add(delta.inline_runs);
+        self.helped_tasks = self.helped_tasks.saturating_add(delta.helped_tasks);
+        self.wakeups = self.wakeups.saturating_add(delta.wakeups);
+        self.panics = self.panics.saturating_add(delta.panics);
+        self.worker_deaths = self.worker_deaths.saturating_add(delta.worker_deaths);
+    }
+
     /// Fraction of created futures that were run inline by their creator.
     pub fn inline_fraction(&self) -> f64 {
         if self.futures_created == 0 {
@@ -120,6 +136,27 @@ mod tests {
         let d = s2.since(&s1);
         assert_eq!(d.tasks_executed, 5);
         assert_eq!(d.steals, 0);
+    }
+
+    #[test]
+    fn accumulate_is_field_wise_and_saturating() {
+        let mut total = RuntimeStats {
+            tasks_executed: 7,
+            steals: 1,
+            ..RuntimeStats::default()
+        };
+        let delta = RuntimeStats {
+            tasks_executed: 3,
+            futures_created: 2,
+            worker_deaths: u64::MAX,
+            ..RuntimeStats::default()
+        };
+        total.accumulate(&delta);
+        assert_eq!(total.tasks_executed, 10);
+        assert_eq!(total.steals, 1);
+        assert_eq!(total.futures_created, 2);
+        total.accumulate(&delta);
+        assert_eq!(total.worker_deaths, u64::MAX);
     }
 
     #[test]

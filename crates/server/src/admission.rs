@@ -1,0 +1,88 @@
+//! Admission control: queue-everything vs load-shedding backpressure.
+//!
+//! Every submission declares its memory-block footprint on the wire (the
+//! exact count [`wsf_workloads::submission::ShapeSpec::footprint`] yields),
+//! so the server can make the reject-vs-queue decision *before* building
+//! anything. In [`AdmissionMode::Shed`] a submission is rejected
+//! (`STATUS_SHED`, no execution) when the live injector depth or the
+//! tenant's in-flight submission/footprint budget is exhausted — bounding
+//! queueing delay, and with it p99 completion latency, under overload.
+//! [`AdmissionMode::QueueAll`] is the honest baseline: accept everything
+//! and let latency go wherever the queue takes it.
+
+/// The server's reject-vs-queue policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Accept every well-formed submission; no backpressure.
+    QueueAll,
+    /// Load-shedding backpressure by queue depth and per-tenant budgets.
+    Shed {
+        /// Reject when this many submissions are already queued or
+        /// executing server-wide.
+        max_depth: usize,
+        /// Reject when the tenant already has this many submissions in
+        /// flight.
+        max_tenant_inflight: u64,
+        /// Reject when the tenant's in-flight declared block footprint
+        /// would exceed this.
+        max_tenant_footprint: u64,
+    },
+}
+
+impl AdmissionMode {
+    /// A shedding config sized for smoke tests and the 1-CPU container.
+    pub fn shed_default() -> Self {
+        AdmissionMode::Shed {
+            max_depth: 256,
+            max_tenant_inflight: 64,
+            max_tenant_footprint: 1 << 22,
+        }
+    }
+
+    /// Whether a submission passes, given the live depth and the tenant's
+    /// current in-flight count and footprint.
+    pub fn admit(
+        &self,
+        depth: usize,
+        tenant_inflight: u64,
+        tenant_footprint: u64,
+        fp: u64,
+    ) -> bool {
+        match *self {
+            AdmissionMode::QueueAll => true,
+            AdmissionMode::Shed {
+                max_depth,
+                max_tenant_inflight,
+                max_tenant_footprint,
+            } => {
+                depth < max_depth
+                    && tenant_inflight < max_tenant_inflight
+                    && tenant_footprint.saturating_add(fp) <= max_tenant_footprint
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_all_admits_everything() {
+        assert!(AdmissionMode::QueueAll.admit(usize::MAX, u64::MAX, u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn shed_enforces_each_budget_independently() {
+        let m = AdmissionMode::Shed {
+            max_depth: 10,
+            max_tenant_inflight: 4,
+            max_tenant_footprint: 100,
+        };
+        assert!(m.admit(9, 3, 50, 50));
+        assert!(!m.admit(10, 0, 0, 1), "depth budget");
+        assert!(!m.admit(0, 4, 0, 1), "inflight budget");
+        assert!(!m.admit(0, 0, 60, 41), "footprint budget");
+        assert!(m.admit(0, 0, 60, 40), "footprint budget is inclusive");
+    }
+}

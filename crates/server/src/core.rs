@@ -1,0 +1,561 @@
+//! The transport-independent server core: ingest, admission, execution.
+//!
+//! [`ServerCore`] owns the shared submission queue (a lock-free
+//! [`Injector`]), the tenant table, the execution [`Runtime`] and a small
+//! pool of executor threads. The network layer (or a test) drives it with
+//! already-framed request words:
+//!
+//! ```text
+//! reader thread ──ingest_frame──▶ decode → admit → arena-build → push_batch
+//!                                                                    │
+//! executor thread ◀── steal ─────────────────────────────────────────┘
+//!    └─ defer_future(simulate) on the Runtime, retry on injected faults,
+//!       inline fallback when the pool is gone; exactly one completion per
+//!       accepted submission, pushed to the connection's completion queue.
+//! ```
+//!
+//! **The ingest hot path allocates nothing in steady state.** Decoded
+//! shapes rebuild into a per-connection [`DagBuilder`] arena recycled from
+//! completed submissions ([`DagBuilder::recycle`]); jobs stage into a
+//! reused buffer and enter the injector through
+//! [`Injector::push_batch`] — one two-parity epoch-guard entry per frame
+//! instead of one per submission. `crates/server/tests/alloc_free.rs`
+//! proves the full decode→admit→build→push_batch path under a counting
+//! allocator.
+//!
+//! **Exactly-once execution.** The executor owns a submission's record
+//! until it completes. The DAG travels in an `Arc<Mutex<Option<Dag>>>`
+//! cell; an injected worker kill fails the future *before* the task body
+//! runs (the closure is dropped unrun), so the DAG survives in the cell
+//! and the retry re-submits it. A genuine mid-simulation panic leaves the
+//! cell empty and the retry rebuilds from the [`ShapeSpec`]. After bounded
+//! retries — or whenever no live worker remains — the executor simulates
+//! inline, so exactly one completion is delivered per accepted submission
+//! no matter which workers die.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wsf_core::{ParallelSimulator, PolicyConfig, PolicyScheduler, SimConfig};
+use wsf_dag::{Dag, DagBuilder};
+use wsf_deque::Injector;
+use wsf_runtime::{FaultHooks, Runtime, RuntimeStats, TouchOutcome};
+use wsf_workloads::submission::{ShapeScratch, ShapeSpec};
+
+use crate::admission::AdmissionMode;
+use crate::protocol::{
+    parse_request_header, ProtocolError, STATUS_OK, STATUS_SHED, STATUS_SHUTTING_DOWN,
+};
+use crate::tenant::{TenantReport, TenantSpec, TenantState};
+
+/// Retries through the runtime before the executor simulates inline.
+const MAX_ATTEMPTS: usize = 8;
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Worker threads of the execution [`Runtime`].
+    pub runtime_threads: usize,
+    /// Executor threads draining the submission queue.
+    pub executors: usize,
+    /// Reject-vs-queue policy.
+    pub admission: AdmissionMode,
+    /// Tenant table; a request's tenant word indexes into it.
+    pub tenants: Vec<TenantSpec>,
+    /// Optional fault injection for the runtime workers.
+    pub fault_hooks: Option<Arc<dyn FaultHooks>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            runtime_threads: 2,
+            executors: 1,
+            admission: AdmissionMode::QueueAll,
+            tenants: vec![TenantSpec::default_with_seed(1)],
+            fault_hooks: None,
+        }
+    }
+}
+
+/// One completed (or rejected) submission, ready to frame as a response.
+#[derive(Copy, Clone, Debug)]
+pub struct Completion {
+    /// Echo of the client's request id.
+    pub request_id: u64,
+    /// One of the `STATUS_*` protocol codes.
+    pub status: u64,
+    /// Simulated cache misses (0 unless `STATUS_OK`).
+    pub misses: u64,
+    /// Simulated deviations (0 unless `STATUS_OK`).
+    pub deviations: u64,
+    /// Declared block footprint of the submission.
+    pub footprint: u64,
+    /// Server-side submission-to-completion latency in microseconds.
+    pub micros: u64,
+}
+
+/// State shared between a connection's reader, its writer and the
+/// executors: the completion queue and the spent-DAG recycle pool.
+#[derive(Debug)]
+pub struct ConnShared {
+    completions: Mutex<VecDeque<Completion>>,
+    cv: Condvar,
+    spent: Mutex<Vec<Dag>>,
+    open: AtomicBool,
+}
+
+impl ConnShared {
+    fn new() -> Self {
+        ConnShared {
+            completions: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            spent: Mutex::new(Vec::new()),
+            open: AtomicBool::new(true),
+        }
+    }
+
+    /// Enqueues a completion and wakes the connection's writer.
+    pub fn push_completion(&self, c: Completion) {
+        self.completions.lock().unwrap().push_back(c);
+        self.cv.notify_all();
+    }
+
+    /// Drains every pending completion into `out`, waiting up to `timeout`
+    /// for at least one. Returns how many were drained.
+    pub fn drain_completions(&self, out: &mut Vec<Completion>, timeout: Duration) -> usize {
+        let mut q = self.completions.lock().unwrap();
+        if q.is_empty() {
+            let (guard, _res) = self.cv.wait_timeout(q, timeout).unwrap();
+            q = guard;
+        }
+        let n = q.len();
+        out.extend(q.drain(..));
+        n
+    }
+
+    /// Marks the connection closed (writer exited; recycling stops).
+    pub fn close(&self) {
+        self.open.store(false, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Whether the connection is still open.
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+}
+
+/// A queued submission travelling from ingest to an executor.
+struct Job {
+    tenant: usize,
+    request_id: u64,
+    spec: ShapeSpec,
+    footprint: u64,
+    dag: Option<Dag>,
+    conn: Arc<ConnShared>,
+    start: Instant,
+}
+
+/// Per-connection ingest arena: the reusable builder, shape scratch and
+/// job staging buffer. Owned by the connection's reader thread.
+#[derive(Default)]
+pub struct Ingest {
+    builder: DagBuilder,
+    scratch: ShapeScratch,
+    staging: Vec<Job>,
+}
+
+impl Ingest {
+    /// Creates an empty arena (buffers grow to the traffic's working set).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct CoreInner {
+    queue: Injector<Job>,
+    depth: AtomicUsize,
+    tenants: Vec<TenantState>,
+    admission: AdmissionMode,
+    runtime: RwLock<Option<Runtime>>,
+    draining: AtomicBool,
+    halt: AtomicBool,
+    work_mx: Mutex<()>,
+    work_cv: Condvar,
+}
+
+impl CoreInner {
+    fn runtime_stats(&self) -> RuntimeStats {
+        self.runtime
+            .read()
+            .unwrap()
+            .as_ref()
+            .map(|rt| rt.stats())
+            .unwrap_or_default()
+    }
+}
+
+/// Outcome of [`ServerCore::shutdown`].
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Whether the submission queue fully drained before the deadline.
+    pub drained: bool,
+    /// Executor threads detached because they missed the deadline.
+    pub detached_executors: usize,
+    /// Runtime workers detached hung by [`Runtime::shutdown_timeout`].
+    pub hung_workers: usize,
+    /// Final runtime counter snapshot.
+    pub runtime_stats: RuntimeStats,
+}
+
+/// The transport-independent futures-as-a-service core.
+pub struct ServerCore {
+    inner: Arc<CoreInner>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerCore {
+    /// Builds the runtime, spawns the executors and returns the core.
+    pub fn new(config: ServerConfig) -> Self {
+        assert!(
+            !config.tenants.is_empty(),
+            "server needs at least one tenant"
+        );
+        let mut rb = Runtime::builder().threads(config.runtime_threads);
+        if let Some(hooks) = config.fault_hooks {
+            rb = rb.fault_hooks(hooks);
+        }
+        let inner = Arc::new(CoreInner {
+            queue: Injector::new(),
+            depth: AtomicUsize::new(0),
+            tenants: config.tenants.into_iter().map(TenantState::new).collect(),
+            admission: config.admission,
+            runtime: RwLock::new(Some(rb.build())),
+            draining: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
+            work_mx: Mutex::new(()),
+            work_cv: Condvar::new(),
+        });
+        let executors = (0..config.executors.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("wsf-exec-{i}"))
+                    .spawn(move || executor_loop(&inner))
+                    .expect("spawn executor")
+            })
+            .collect();
+        ServerCore {
+            inner,
+            executors: Mutex::new(executors),
+        }
+    }
+
+    /// Per-connection state: the reader-owned ingest arena and the shared
+    /// completion/recycle queues.
+    pub fn connection(&self) -> (Ingest, Arc<ConnShared>) {
+        (Ingest::new(), Arc::new(ConnShared::new()))
+    }
+
+    /// Processes one request frame: decode each submission, admit or shed
+    /// it, rebuild accepted DAGs in the connection arena and batch them
+    /// into the injector (one epoch-guard entry per frame).
+    ///
+    /// Shed/draining rejections complete immediately on the connection's
+    /// completion queue. An `Err` is fatal for the connection; accepted
+    /// submissions of the same frame still execute.
+    pub fn ingest_frame(
+        &self,
+        ingest: &mut Ingest,
+        conn: &Arc<ConnShared>,
+        words: &[u64],
+    ) -> Result<(), ProtocolError> {
+        let inner = &*self.inner;
+        let (tenant_w, count) = parse_request_header(words)?;
+        let tid = tenant_w as usize;
+        if tenant_w >= inner.tenants.len() as u64 {
+            return Err(ProtocolError::UnknownTenant(tenant_w));
+        }
+        let tenant = &inner.tenants[tid];
+        let mut off = 4usize;
+        let mut result = Ok(());
+        for _ in 0..count {
+            let Some(&request_id) = words.get(off) else {
+                result = Err(ProtocolError::Malformed("submission truncated"));
+                break;
+            };
+            off += 1;
+            let spec = match ShapeSpec::decode(&words[off..]) {
+                Ok((spec, used)) => {
+                    off += used;
+                    spec
+                }
+                Err(e) => {
+                    // Undecodable shapes destroy the frame boundary: fail
+                    // the connection after answering this request id.
+                    conn.push_completion(Completion {
+                        request_id,
+                        status: crate::protocol::STATUS_BAD_SHAPE,
+                        misses: 0,
+                        deviations: 0,
+                        footprint: 0,
+                        micros: 0,
+                    });
+                    result = Err(e.into());
+                    break;
+                }
+            };
+            let footprint = spec.footprint();
+            if inner.draining.load(Ordering::Acquire) {
+                conn.push_completion(Completion {
+                    request_id,
+                    status: STATUS_SHUTTING_DOWN,
+                    misses: 0,
+                    deviations: 0,
+                    footprint,
+                    micros: 0,
+                });
+                continue;
+            }
+            let depth = inner.depth.load(Ordering::Relaxed) + ingest.staging.len();
+            let admitted = inner.admission.admit(
+                depth,
+                tenant.inflight.load(Ordering::Relaxed),
+                tenant.footprint_inflight.load(Ordering::Relaxed),
+                footprint,
+            );
+            if !admitted {
+                tenant.shed.fetch_add(1, Ordering::Relaxed);
+                conn.push_completion(Completion {
+                    request_id,
+                    status: STATUS_SHED,
+                    misses: 0,
+                    deviations: 0,
+                    footprint,
+                    micros: 0,
+                });
+                continue;
+            }
+            tenant.inflight.fetch_add(1, Ordering::Relaxed);
+            tenant
+                .footprint_inflight
+                .fetch_add(footprint, Ordering::Relaxed);
+            // Arena rebuild: recycle a spent DAG's storage when one has come
+            // back from an executor, otherwise reset the builder in place.
+            match conn.spent.lock().unwrap().pop() {
+                Some(dag) => ingest.builder.recycle(dag),
+                None => ingest.builder.reset(),
+            }
+            let dag = spec.build_into(&mut ingest.builder, &mut ingest.scratch);
+            ingest.staging.push(Job {
+                tenant: tid,
+                request_id,
+                spec,
+                footprint,
+                dag: Some(dag),
+                conn: Arc::clone(conn),
+                start: Instant::now(),
+            });
+        }
+        if result.is_ok() && off != words.len() {
+            result = Err(ProtocolError::Malformed("trailing words"));
+        }
+        if !ingest.staging.is_empty() {
+            inner
+                .depth
+                .fetch_add(ingest.staging.len(), Ordering::Relaxed);
+            inner.queue.push_batch(ingest.staging.drain(..));
+            inner.work_cv.notify_all();
+        }
+        result
+    }
+
+    /// Submissions currently queued or executing.
+    pub fn queued(&self) -> usize {
+        self.inner.depth.load(Ordering::Relaxed)
+    }
+
+    /// Rejects all future submissions with `STATUS_SHUTTING_DOWN` while
+    /// already-accepted ones keep executing.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// A tenant's accounting snapshot.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn tenant_report(&self, tenant: usize) -> TenantReport {
+        self.inner.tenants[tenant].report()
+    }
+
+    /// Number of tenants in the table.
+    pub fn num_tenants(&self) -> usize {
+        self.inner.tenants.len()
+    }
+
+    /// Live runtime workers (0 once the pool degrades fully or shuts down).
+    pub fn live_workers(&self) -> usize {
+        self.inner
+            .runtime
+            .read()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |rt| rt.live_workers())
+    }
+
+    /// Graceful shutdown: drain accepted-but-unexecuted submissions, stop
+    /// the executors, then shut the runtime down with the remaining budget.
+    /// Hung executors and hung runtime workers are detached, never joined,
+    /// so a wedged task cannot wedge shutdown.
+    pub fn shutdown(&self, timeout: Duration) -> ServerReport {
+        let deadline = Instant::now() + timeout;
+        self.begin_drain();
+        while self.inner.depth.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drained = self.inner.depth.load(Ordering::Relaxed) == 0;
+
+        self.inner.halt.store(true, Ordering::Release);
+        self.inner.work_cv.notify_all();
+        let mut detached = 0usize;
+        for h in self.executors.lock().unwrap().drain(..) {
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                detached += 1;
+                drop(h);
+            }
+        }
+
+        let rt = self.inner.runtime.write().unwrap().take();
+        let (hung_workers, runtime_stats) = match rt {
+            Some(rt) => {
+                let budget = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(10));
+                match rt.shutdown_timeout(budget) {
+                    Ok(stats) => (0, stats),
+                    Err(e) => (e.hung.len(), RuntimeStats::default()),
+                }
+            }
+            None => (0, RuntimeStats::default()),
+        };
+        ServerReport {
+            drained,
+            detached_executors: detached,
+            hung_workers,
+            runtime_stats,
+        }
+    }
+}
+
+fn executor_loop(inner: &CoreInner) {
+    loop {
+        if let Some(job) = inner.queue.steal() {
+            inner.depth.fetch_sub(1, Ordering::Relaxed);
+            execute_job(inner, job);
+        } else if inner.halt.load(Ordering::Acquire) {
+            return;
+        } else {
+            let guard = inner.work_mx.lock().unwrap();
+            let _ = inner
+                .work_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+}
+
+/// Runs one submission's simulation, taking the DAG out of its cell and
+/// restoring it afterwards; rebuilds from the spec if a previous attempt
+/// consumed the DAG (genuine mid-simulation panic).
+fn simulate_in_cell(
+    cell: &Mutex<Option<Dag>>,
+    spec: ShapeSpec,
+    cfg: SimConfig,
+    policy: PolicyConfig,
+) -> (u64, u64) {
+    let taken = cell.lock().unwrap().take();
+    let dag = taken.unwrap_or_else(|| {
+        let mut b = DagBuilder::new();
+        let mut s = ShapeScratch::new();
+        spec.build_into(&mut b, &mut s)
+    });
+    let sim = ParallelSimulator::new(cfg);
+    let seq = sim.sequential(&dag);
+    let mut sched = PolicyScheduler::new(policy);
+    let report = sim.run_against(&dag, &seq, &mut sched, false);
+    let out = (report.cache_misses(), report.deviations());
+    *cell.lock().unwrap() = Some(dag);
+    out
+}
+
+fn execute_job(inner: &CoreInner, mut job: Job) {
+    let tenant = &inner.tenants[job.tenant];
+    let spec = job.spec;
+    let cfg = tenant.spec.sim_config();
+    let policy = tenant.spec.policy;
+    let before = inner.runtime_stats();
+    let cell: Arc<Mutex<Option<Dag>>> = Arc::new(Mutex::new(job.dag.take()));
+
+    let mut attempts = 0usize;
+    let (misses, deviations) = loop {
+        attempts += 1;
+        let fut = {
+            let guard = inner.runtime.read().unwrap();
+            match guard.as_ref() {
+                Some(rt) if rt.live_workers() > 0 && attempts <= MAX_ATTEMPTS => {
+                    let c2 = Arc::clone(&cell);
+                    rt.defer_future(move || simulate_in_cell(&c2, spec, cfg, policy))
+                }
+                // Pool gone, fully degraded, or retries exhausted: simulate
+                // inline on this executor thread. The fault injector only
+                // targets runtime workers, so this always completes.
+                _ => break simulate_in_cell(&cell, spec, cfg, policy),
+            }
+        };
+        let mut pending = fut;
+        let outcome = loop {
+            match pending.touch_within(Duration::from_millis(10)) {
+                TouchOutcome::Ready(v) => break Some(v),
+                TouchOutcome::Failed(_e) => break None, // killed worker or panic: retry
+                TouchOutcome::Pending(f) => pending = f,
+            }
+        };
+        if let Some(v) = outcome {
+            break v;
+        }
+    };
+
+    let delta = inner.runtime_stats().since(&before);
+    tenant.stats.lock().unwrap().accumulate(&delta);
+    tenant.misses.fetch_add(misses, Ordering::Relaxed);
+    tenant.deviations.fetch_add(deviations, Ordering::Relaxed);
+    tenant.completed.fetch_add(1, Ordering::Relaxed);
+    tenant.inflight.fetch_sub(1, Ordering::Relaxed);
+    tenant
+        .footprint_inflight
+        .fetch_sub(job.footprint, Ordering::Relaxed);
+
+    // Return the DAG's storage to the connection arena for recycling.
+    if let Some(dag) = cell.lock().unwrap().take() {
+        if job.conn.is_open() {
+            job.conn.spent.lock().unwrap().push(dag);
+        }
+    }
+    job.conn.push_completion(Completion {
+        request_id: job.request_id,
+        status: STATUS_OK,
+        misses,
+        deviations,
+        footprint: job.footprint,
+        micros: job.start.elapsed().as_micros() as u64,
+    });
+}

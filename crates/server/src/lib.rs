@@ -1,0 +1,50 @@
+//! `wsf-server`: futures-as-a-service over the `wsf` runtime.
+//!
+//! A TCP/UDS front end that accepts DAG/future submissions from many
+//! concurrent clients over a length-prefixed, versioned flat-`u64` binary
+//! protocol ([`protocol`]), decodes them into a per-connection reusable
+//! [`wsf_dag::DagBuilder`] arena (no steady-state allocation on the ingest
+//! hot path), admits or sheds them by declared block footprint
+//! ([`admission`]), batches accepted work into the runtime's injector via
+//! [`wsf_deque::Injector::push_batch`] — one two-parity epoch-guard entry
+//! per frame — and executes each submission on a shared
+//! [`wsf_runtime::Runtime`] with per-tenant accounting ([`tenant`]).
+//!
+//! Layering:
+//!
+//! * [`protocol`] — framing and status codes (transport-free, allocation-
+//!   free after warm-up).
+//! * [`admission`] — the reject-vs-queue decision.
+//! * [`tenant`] — per-tenant policy/machine specs and accounting.
+//! * [`core`] — ingest → admit → arena-build → batch-inject → execute;
+//!   exactly-once completion delivery under injected worker faults;
+//!   graceful drain-then-stop shutdown.
+//! * [`net`] — TCP/UDS listeners and per-connection reader/writer threads;
+//!   hung clients cannot wedge shutdown.
+//! * [`client`] — closed- and open-loop load harnesses with zipfian tenant
+//!   popularity and p50/p99/p999 latency measurement (E20 and the
+//!   `server_macro` benchmarks drive these).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod admission;
+pub mod client;
+pub mod core;
+pub mod net;
+pub mod protocol;
+pub mod tenant;
+
+pub use admission::AdmissionMode;
+pub use client::{
+    run_closed_loop, run_open_loop, run_open_loop_multi, BenchClient, Endpoint, LatencyRecorder,
+    LoadConfig, LoadReport, ZipfSampler,
+};
+pub use core::{Completion, ConnShared, Ingest, ServerConfig, ServerCore, ServerReport};
+pub use net::Server;
+pub use protocol::{
+    frame_request, FrameReader, ProtocolError, COMPLETION_WORDS, MAX_FRAME_WORDS, PROTOCOL_VERSION,
+    REQUEST_MAGIC, RESPONSE_MAGIC, STATUS_BAD_SHAPE, STATUS_FAILED, STATUS_OK, STATUS_SHED,
+    STATUS_SHUTTING_DOWN,
+};
+pub use tenant::{TenantReport, TenantSpec};

@@ -1,0 +1,230 @@
+//! End-to-end server tests over real TCP sockets: round-trip correctness
+//! against a local replay, graceful shutdown with a hung client attached,
+//! and exactly-once completion delivery under injected worker kills.
+//!
+//! The fault seed is taken from `WSF_FAULT_SEED` when set (the CI
+//! fault-matrix job sweeps it), so a failure reproduces by exporting the
+//! printed seed.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wsf_core::{ParallelSimulator, PolicyScheduler};
+use wsf_dag::DagBuilder;
+use wsf_runtime::{FaultPlan, FaultSpec};
+use wsf_server::{
+    AdmissionMode, BenchClient, Completion, Server, ServerConfig, TenantSpec, STATUS_OK,
+};
+use wsf_workloads::submission::{ShapeScratch, ShapeSpec};
+
+fn env_fault_seed() -> u64 {
+    std::env::var("WSF_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn two_tenant_config() -> ServerConfig {
+    ServerConfig {
+        runtime_threads: 2,
+        executors: 2,
+        admission: AdmissionMode::QueueAll,
+        tenants: vec![
+            TenantSpec::default_with_seed(11),
+            TenantSpec::default_with_seed(22),
+        ],
+        fault_hooks: None,
+    }
+}
+
+/// Executes `spec` locally under `tenant`'s deterministic simulator
+/// config — the ground truth a server completion must match.
+fn local_replay(tenant: &TenantSpec, spec: ShapeSpec) -> (u64, u64) {
+    let mut b = DagBuilder::new();
+    let mut s = ShapeScratch::new();
+    let dag = spec.build_into(&mut b, &mut s);
+    let sim = ParallelSimulator::new(tenant.sim_config());
+    let seq = sim.sequential(&dag);
+    let mut sched = PolicyScheduler::new(tenant.policy);
+    let report = sim.run_against(&dag, &seq, &mut sched, false);
+    (report.cache_misses(), report.deviations())
+}
+
+fn collect(client: &mut BenchClient, want: usize) -> Vec<Completion> {
+    let mut out = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while out.len() < want {
+        assert!(
+            Instant::now() < deadline,
+            "timed out at {}/{want}",
+            out.len()
+        );
+        client
+            .recv_completions(&mut out, Duration::from_secs(5))
+            .expect("recv completions");
+    }
+    out
+}
+
+#[test]
+fn tcp_round_trip_matches_local_replay() {
+    let server = Server::bind_tcp("127.0.0.1:0", two_tenant_config()).expect("bind");
+    let addr = server.tcp_addr().unwrap();
+    let mut client = BenchClient::connect_tcp(addr).expect("connect");
+
+    let shapes = ShapeSpec::smoke_mix();
+    let mut expected = Vec::new();
+    for (t, tenant_seed) in [(0u64, 11u64), (1, 22)] {
+        let batch: Vec<(u64, ShapeSpec)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (t * 100 + i as u64, s))
+            .collect();
+        client.submit_batch(t, &batch).expect("submit");
+        for &(id, s) in &batch {
+            expected.push((id, s, TenantSpec::default_with_seed(tenant_seed)));
+        }
+    }
+
+    let completions = collect(&mut client, expected.len());
+    assert_eq!(completions.len(), expected.len());
+    for (id, spec, tenant) in expected {
+        let c = completions
+            .iter()
+            .find(|c| c.request_id == id)
+            .unwrap_or_else(|| panic!("no completion for request {id}"));
+        assert_eq!(c.status, STATUS_OK, "request {id}");
+        assert_eq!(c.footprint, spec.footprint(), "request {id} footprint");
+        let (misses, deviations) = local_replay(&tenant, spec);
+        assert_eq!(c.misses, misses, "request {id} misses");
+        assert_eq!(c.deviations, deviations, "request {id} deviations");
+    }
+
+    for t in 0..2 {
+        let r = server.core().tenant_report(t);
+        assert_eq!(r.completed, 3, "tenant {t}");
+        assert_eq!(r.inflight, 0, "tenant {t}");
+    }
+    let report = server.shutdown(Duration::from_secs(10));
+    assert!(report.drained);
+    assert_eq!(report.hung_workers, 0);
+    assert_eq!(report.detached_executors, 0);
+}
+
+#[test]
+fn hung_client_cannot_wedge_shutdown() {
+    let server = Server::bind_tcp("127.0.0.1:0", two_tenant_config()).expect("bind");
+    let addr = server.tcp_addr().unwrap();
+
+    // A healthy client proves the server is live...
+    let mut healthy = BenchClient::connect_tcp(addr).expect("connect healthy");
+    healthy
+        .submit_batch(0, &[(7, ShapeSpec::Mergesort { leaves: 16 })])
+        .expect("submit");
+    let done = collect(&mut healthy, 1);
+    assert_eq!(done[0].status, STATUS_OK);
+
+    // ...and a hung one sends half a frame, then goes silent forever.
+    let mut hung = std::net::TcpStream::connect(addr).expect("connect hung");
+    hung.write_all(&[0x03, 0, 0, 0, 0]).expect("partial frame");
+    // (keep `hung` open across the shutdown)
+
+    let started = Instant::now();
+    let report = server.shutdown(Duration::from_secs(5));
+    let took = started.elapsed();
+    assert!(report.drained, "nothing should remain queued");
+    assert!(
+        took < Duration::from_secs(5),
+        "shutdown took {took:?} with a hung client attached"
+    );
+    drop(hung);
+}
+
+#[test]
+fn exactly_once_completions_under_injected_worker_kills() {
+    let seed = env_fault_seed();
+    // Three of the four workers get killed mid-run; a few task panics and
+    // injector stalls ride along. The horizon is well under the task count
+    // so every drawn fault actually fires.
+    let spec = FaultSpec {
+        horizon: 24,
+        panics: 2,
+        kills: 3,
+        stall_period: 5,
+        stall: Duration::from_micros(200),
+        wakeup_period: 4,
+        wakeup_delay: Duration::from_micros(100),
+    };
+    let plan = Arc::new(FaultPlan::seeded(seed, &spec));
+    let config = ServerConfig {
+        runtime_threads: 4,
+        executors: 2,
+        admission: AdmissionMode::QueueAll,
+        tenants: vec![TenantSpec::default_with_seed(5)],
+        fault_hooks: Some(plan),
+    };
+    let server = Server::bind_tcp("127.0.0.1:0", config).expect("bind");
+    let addr = server.tcp_addr().unwrap();
+    let mut client = BenchClient::connect_tcp(addr).expect("connect");
+
+    let shapes = ShapeSpec::smoke_mix();
+    const TOTAL: u64 = 40;
+    let mut sent = 0u64;
+    while sent < TOTAL {
+        let batch: Vec<(u64, ShapeSpec)> = (0..8)
+            .map(|i| {
+                let id = sent + i + 1;
+                (id, shapes[id as usize % shapes.len()])
+            })
+            .collect();
+        client.submit_batch(0, &batch).expect("submit");
+        sent += batch.len() as u64;
+    }
+
+    let completions = collect(&mut client, TOTAL as usize);
+    let ids: BTreeSet<u64> = completions.iter().map(|c| c.request_id).collect();
+    assert_eq!(
+        ids.len(),
+        completions.len(),
+        "duplicate completions under seed {seed}"
+    );
+    assert_eq!(
+        ids,
+        (1..=TOTAL).collect::<BTreeSet<u64>>(),
+        "lost completions under seed {seed}"
+    );
+    // Every submission must still succeed: kills fire before the task body
+    // runs (the DAG survives for retry), and the executor falls back to
+    // inline simulation once the pool degrades.
+    for c in &completions {
+        assert_eq!(
+            c.status, STATUS_OK,
+            "request {} under seed {seed}",
+            c.request_id
+        );
+    }
+    // Simulation results stay deterministic even when computed on a retry.
+    let tenant = TenantSpec::default_with_seed(5);
+    for c in completions.iter().take(6) {
+        let spec = shapes[c.request_id as usize % shapes.len()];
+        let (misses, deviations) = local_replay(&tenant, spec);
+        assert_eq!(
+            c.misses, misses,
+            "request {} under seed {seed}",
+            c.request_id
+        );
+        assert_eq!(
+            c.deviations, deviations,
+            "request {} under seed {seed}",
+            c.request_id
+        );
+    }
+
+    let report = server.shutdown(Duration::from_secs(10));
+    assert!(
+        report.drained,
+        "drain must survive worker deaths (seed {seed})"
+    );
+}

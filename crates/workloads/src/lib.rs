@@ -24,7 +24,10 @@
 //!   (`wsf_runtime::StreamEngine`), feeding the crash-recovery experiment
 //!   (E18);
 //! * [`presets`] — named size presets scaling every suite family up to
-//!   ~10^6 distinct blocks.
+//!   ~10^6 distinct blocks;
+//! * [`submission`] — wire-encodable, allocation-free rebuildable shape
+//!   descriptions of the suite families for the serving front end
+//!   (`wsf-server`), with exact declared-footprint accounting.
 //!
 //! Every generator documents which experiment (E1–E16 in `docs/DESIGN.md`)
 //! it feeds and which figure or theorem of the paper it reproduces.
@@ -43,3 +46,4 @@ pub mod runtime_apps;
 pub mod sort;
 pub mod stencil;
 pub mod streaming;
+pub mod submission;

@@ -46,6 +46,7 @@ pub use wsf_core as core;
 pub use wsf_dag as dag;
 pub use wsf_deque as deque;
 pub use wsf_runtime as runtime;
+pub use wsf_server as server;
 pub use wsf_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
