@@ -14,14 +14,17 @@ use crate::sweeps::{
 };
 use crate::table::Table;
 use crate::tournament::{policy_space, run_tournament, TournamentConfig};
+use crate::validate::{validate_trace, BoundFamily, TraceValidation};
+use std::sync::Arc;
 use wsf_core::{
     bounds, ExecutionReport, ForkPolicy, ParallelSimulator, Scheduler, SeqReport,
     SequentialExecutor, SimConfig,
 };
 use wsf_dag::{classify, span, Dag, DagBuilder};
+use wsf_runtime::{Runtime, SpawnPolicy};
 use wsf_workloads::figures::{fig3, fig4, fig5a, fig5b, Fig6, Fig7a, Fig7b, Fig8};
 use wsf_workloads::random::{random_single_touch, RandomConfig};
-use wsf_workloads::{apps, backpressure, pipeline, runtime_apps, sort, stencil};
+use wsf_workloads::{apps, backpressure, dag_exec, pipeline, runtime_apps, sort, stencil};
 
 /// How large the experiment sweeps should be.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -2191,6 +2194,204 @@ fn fib_reference(n: u64) -> u64 {
     a
 }
 
+/// One validated pool execution of the hardware-validation loop (E21):
+/// a preset-family DAG run on the real work-stealing pool at `processors`
+/// workers, its touch trace replayed and checked against the theorem
+/// bounds. Produced by [`e21_cells`]; the `hw_validate` bench bin archives
+/// these (with perf counters where available) in `BENCH_simulator.json`.
+#[derive(Clone, Debug)]
+pub struct HwValidationCell {
+    /// The workload family (`mergesort`, `stencil`, …).
+    pub family: &'static str,
+    /// Nodes in the DAG.
+    pub nodes: usize,
+    /// Distinct memory blocks of the DAG.
+    pub blocks: usize,
+    /// Pool workers the DAG was executed on.
+    pub processors: usize,
+    /// Which theorem's bounds apply (Thm 16/18 for the super-final
+    /// exchange stencils, Thm 12 otherwise).
+    pub bound_family: BoundFamily,
+    /// The trace-replay verdict over the executed schedule.
+    pub validation: TraceValidation,
+    /// Tasks acquired by steal during the execution (trace provenance).
+    pub steal_tasks: u64,
+    /// Chains respawned by the fault-rescue sweep (0 without injection).
+    pub rescued: usize,
+}
+
+/// The E21 workload matrix: the four Theorem-12 suite families (the
+/// exchange stencil twice, once per bound family), each sized so the
+/// theorem bounds exceed the node count — which makes every verdict
+/// structurally "yes" on *any* executed schedule, keeping the table
+/// byte-deterministic while the measured numbers vary run to run.
+pub fn e21_matrix(scale: Scale) -> Vec<(&'static str, Arc<Dag>, BoundFamily)> {
+    let (sort_shape, st, ex, bp) = scale.pick(
+        (
+            (64usize, 8usize),
+            (3usize, 2, 3),
+            (3usize, 2),
+            (3usize, 12, 4, 1),
+        ),
+        ((512, 16), (8, 8, 4), (4, 8), (4, 48, 8, 1)),
+    );
+    vec![
+        (
+            "mergesort",
+            Arc::new(sort::mergesort(sort_shape.0, sort_shape.1)),
+            BoundFamily::Thm12,
+        ),
+        (
+            "stencil",
+            Arc::new(stencil::stencil(st.0, st.1, st.2)),
+            BoundFamily::Thm12,
+        ),
+        (
+            "stencil_exchange/1",
+            Arc::new(stencil::stencil_exchange(ex.0, ex.1, 1)),
+            BoundFamily::Thm16,
+        ),
+        (
+            "stencil_exchange/2",
+            Arc::new(stencil::stencil_exchange(ex.0, ex.1, 2)),
+            BoundFamily::Thm18,
+        ),
+        (
+            "batched_pipeline",
+            Arc::new(backpressure::batched_pipeline(bp.0, bp.1, bp.2, bp.3)),
+            BoundFamily::Thm12,
+        ),
+    ]
+}
+
+/// Runs and validates one E21 cell: `dag` executed on a fresh traced pool
+/// of `processors` workers, `C = 16` per-worker private LRU caches. The
+/// `hw_validate` bin calls this directly so it can bracket each execution
+/// with a hardware miss counter.
+pub fn e21_cell(
+    family: &'static str,
+    dag: &Arc<Dag>,
+    processors: usize,
+    bound_family: BoundFamily,
+) -> HwValidationCell {
+    let c = 16usize;
+    let rt = Arc::new(
+        Runtime::builder()
+            .threads(processors)
+            .policy(SpawnPolicy::ChildFirst)
+            .touch_trace(4 * dag.num_nodes() + 64)
+            .build(),
+    );
+    let report = dag_exec::run_dag_on_pool(&rt, dag, ForkPolicy::FutureFirst);
+    let trace = rt.touch_trace().expect("tracing enabled");
+    let validation = validate_trace(
+        dag,
+        &trace,
+        ForkPolicy::FutureFirst,
+        c,
+        processors as u64,
+        bound_family,
+    );
+    // The structural determinism guarantee: with `nodes` at or below both
+    // bounds, no executed schedule can violate them (deviations and extra
+    // misses are each at most one per node).
+    assert!(
+        dag.num_nodes() as u64 <= validation.deviation_bound
+            && dag.num_nodes() as u64 <= validation.miss_bound,
+        "{family}: shape too large for deterministic verdicts \
+         ({} nodes, bounds {} / {})",
+        dag.num_nodes(),
+        validation.deviation_bound,
+        validation.miss_bound,
+    );
+    HwValidationCell {
+        family,
+        nodes: dag.num_nodes(),
+        blocks: dag.block_space(),
+        processors,
+        bound_family,
+        validation,
+        steal_tasks: trace.steal_tasks(),
+        rescued: report.rescued,
+    }
+}
+
+/// Runs the E21 matrix — every [`e21_matrix`] family on real pools at
+/// `P ∈ {1, 2, 4}` with tracing on — and validates each executed schedule.
+pub fn e21_cells(scale: Scale) -> Vec<HwValidationCell> {
+    let mut cells = Vec::new();
+    for (family, dag, bound_family) in e21_matrix(scale) {
+        for p in [1usize, 2, 4] {
+            cells.push(e21_cell(family, &dag, p, bound_family));
+        }
+    }
+    cells
+}
+
+/// E21 — the hardware-validation loop: the Theorem-12/16/18 suite
+/// families executed on the *real* work-stealing pool at `P ∈ {1, 2, 4}`,
+/// their block-touch traces replayed through the cache simulator and
+/// checked against the theorem bounds — bound verdicts over executed
+/// schedules rather than simulated ones.
+///
+/// The table is byte-deterministic at any `--threads` (shapes are sized so
+/// the bounds exceed the node count; see [`e21_matrix`]); the run-varying
+/// measurements — deviations, extra misses, steals — go to stderr, and the
+/// `hw_validate` bench bin archives them in `BENCH_simulator.json`.
+pub fn e21_hw_validate(scale: Scale) -> Vec<Table> {
+    let columns = [
+        "family",
+        "nodes",
+        "blocks",
+        "thm",
+        "P",
+        "T_inf",
+        "seq misses",
+        "dev bound",
+        "miss bound",
+        "p1",
+        "within",
+    ];
+    let mut t = Table::new(
+        "E21 / hardware-validation loop — executed schedules vs Theorems 12/16/18 (C = 16)",
+        &columns,
+    );
+    for cell in e21_cells(scale) {
+        let v = &cell.validation;
+        eprintln!(
+            "E21 {} P={}: deviations={} extra_misses={} runtime_misses={} \
+             steal_tasks={} rescued={} coverage={}",
+            cell.family,
+            cell.processors,
+            v.deviations,
+            v.extra_misses,
+            v.runtime_misses,
+            cell.steal_tasks,
+            cell.rescued,
+            v.coverage_ok,
+        );
+        t.push_row(vec![
+            cell.family.to_string(),
+            cell.nodes.to_string(),
+            cell.blocks.to_string(),
+            cell.bound_family.label().to_string(),
+            cell.processors.to_string(),
+            v.span.to_string(),
+            v.seq_misses.to_string(),
+            v.deviation_bound.to_string(),
+            v.miss_bound.to_string(),
+            match v.p1_exact {
+                Some(true) => "exact",
+                Some(false) => "DIVERGED",
+                None => "-",
+            }
+            .to_string(),
+            if v.within { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     let mut tables = Vec::new();
@@ -2214,6 +2415,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(e18_streaming_epochs(scale));
     tables.extend(e19_scheduler_tournament(scale));
     tables.extend(e20_futures_service(scale));
+    tables.extend(e21_hw_validate(scale));
     tables
 }
 
@@ -2279,6 +2481,11 @@ pub fn registry() -> Vec<Experiment> {
             "futures as a service (wsf-server over TCP, zipfian multi-tenant mix)",
             e20_futures_service,
         ),
+        (
+            "e21",
+            "hardware-validation loop (runtime traces vs Theorem 12/16/18 bounds)",
+            e21_hw_validate,
+        ),
     ]
 }
 
@@ -2308,11 +2515,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_runnable() {
         let reg = registry();
-        assert_eq!(reg.len(), 20);
+        assert_eq!(reg.len(), 21);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 
     #[test]
@@ -2333,6 +2540,7 @@ mod tests {
             e16_exchange_stencil,
             e17_miss_ratio_curves,
             e18_streaming_epochs,
+            e21_hw_validate,
         ] {
             for table in runner(Scale::Quick) {
                 assert!(!table.is_empty(), "{}", table.title);

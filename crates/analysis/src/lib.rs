@@ -24,6 +24,7 @@ pub mod policy;
 pub mod sweeps;
 pub mod table;
 pub mod tournament;
+pub mod validate;
 
 pub use experiments::{default_capacity_grid, registry, run_all, Scale};
 pub use fit::{mean_ratio, power_law_exponent};
@@ -37,3 +38,4 @@ pub use table::Table;
 pub use tournament::{
     policy_space, policy_space_with, run_tournament, Tournament, TournamentConfig, TournamentEntry,
 };
+pub use validate::{trace_curve, validate_trace, BoundFamily, TraceValidation};

@@ -74,6 +74,12 @@ fn sweeps_and_experiments_are_byte_identical_across_thread_counts() {
         // determined by the scripted schedule and the per-tenant replay
         // (latency goes to stderr), so they too must render identically.
         experiments::e20_futures_service,
+        // E21 executes DAGs on the real pool; its tables keep only the
+        // structural columns (shape, bounds, verdicts — guaranteed for
+        // any executed schedule of these sizes), with the measured
+        // deviation/miss numbers on stderr, so they too must render
+        // identically.
+        experiments::e21_hw_validate,
     ];
     for runner in runners {
         set_threads(1);

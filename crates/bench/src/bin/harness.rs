@@ -4,7 +4,7 @@
 //! ```text
 //! harness [--quick] [--threads N] [--capacities C1,C2,...]
 //!         [--schedulers S1,S2,...] [--patience P1,P2,...]
-//!         [all|e1|e2|...|e20]...
+//!         [all|e1|e2|...|e21]...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` uses the reduced

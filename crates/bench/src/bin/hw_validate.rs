@@ -1,0 +1,122 @@
+//! E21 hardware validation: executes the Theorem-12/16/18 suite families
+//! on the real work-stealing pool at `P ∈ {1, 2, 4}`, replays the recorded
+//! touch traces through the cache simulator, and prints a `hw_validation`
+//! JSON block (archived in `BENCH_simulator.json`) with sim-vs-runtime
+//! miss deltas, bound verdicts, and — where the platform allows
+//! `perf_event_open` — hardware LLC-miss counts per run.
+//!
+//! ```text
+//! cargo run --release -p wsf-bench --bin hw_validate
+//! ```
+//!
+//! Set `WSF_BENCH_SMOKE=1` for a seconds-fast smoke run (used by CI). The
+//! run is self-describing: it records the machine's core count, and when
+//! hardware counters are denied (containers, VMs, paranoid kernels) each
+//! run carries the reason instead of a count — the bin still exits 0, so
+//! a 1-CPU CI container passes.
+
+use wsf_analysis::experiments::{e21_cell, e21_matrix, HwValidationCell};
+use wsf_analysis::Scale;
+use wsf_bench::perf::{measure_llc_misses, PerfMeasurement};
+
+/// JSON-escapes a string the minimal way (our strings contain no control
+/// characters beyond what this covers).
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn run_row(cell: &HwValidationCell, llc: &PerfMeasurement) -> String {
+    let v = &cell.validation;
+    let llc_field = match llc {
+        PerfMeasurement::Counted(n) => format!("\"llc_misses\": {n}"),
+        PerfMeasurement::Unavailable(_) => "\"llc_misses\": null".to_string(),
+    };
+    format!(
+        "    {{\"family\": {family}, \"p\": {p}, \"thm\": {thm}, \"nodes\": {nodes}, \
+\"blocks\": {blocks}, \"span\": {span}, \"sim_misses\": {sim}, \"runtime_misses\": {rt}, \
+\"miss_delta\": {delta}, \"deviations\": {dev}, \"dev_bound\": {devb}, \
+\"extra_misses\": {extra}, \"miss_bound\": {missb}, \"steal_tasks\": {steals}, \
+\"rescued\": {rescued}, \"coverage_ok\": {cov}, \"p1_exact\": {p1}, \
+\"within\": {within}, {llc_field}}}",
+        family = json_str(cell.family),
+        p = cell.processors,
+        thm = json_str(cell.bound_family.label()),
+        nodes = cell.nodes,
+        blocks = cell.blocks,
+        span = v.span,
+        sim = v.seq_misses,
+        rt = v.runtime_misses,
+        delta = v.runtime_misses as i64 - v.seq_misses as i64,
+        dev = v.deviations,
+        devb = v.deviation_bound,
+        extra = v.extra_misses,
+        missb = v.miss_bound,
+        steals = cell.steal_tasks,
+        rescued = cell.rescued,
+        cov = v.coverage_ok,
+        p1 = match v.p1_exact {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        },
+        within = v.within,
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("WSF_BENCH_SMOKE").is_ok();
+    let scale = if smoke { Scale::Quick } else { Scale::Full };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    let mut perf_note: Option<String> = None;
+    let mut counted_runs = 0usize;
+    let mut all_within = true;
+    for (family, dag, bound_family) in e21_matrix(scale) {
+        for p in [1usize, 2, 4] {
+            let (cell, llc) = measure_llc_misses(|| e21_cell(family, &dag, p, bound_family));
+            match &llc {
+                PerfMeasurement::Counted(_) => counted_runs += 1,
+                PerfMeasurement::Unavailable(reason) => {
+                    perf_note.get_or_insert_with(|| reason.clone());
+                }
+            }
+            all_within &= cell.validation.within;
+            eprintln!(
+                "hw_validate {family} P={p}: sim={} runtime={} delta={} \
+                 deviations={} steals={} within={} llc={:?}",
+                cell.validation.seq_misses,
+                cell.validation.runtime_misses,
+                cell.validation.runtime_misses as i64 - cell.validation.seq_misses as i64,
+                cell.validation.deviations,
+                cell.steal_tasks,
+                cell.validation.within,
+                llc.count(),
+            );
+            rows.push(run_row(&cell, &llc));
+        }
+    }
+
+    let perf_status = match (&perf_note, counted_runs) {
+        (None, _) => "\"perf_event LLC-miss counters active\"".to_string(),
+        (Some(reason), 0) => json_str(&format!("unavailable: {reason}")),
+        (Some(reason), _) => json_str(&format!("partially available: {reason}")),
+    };
+    println!("{{");
+    println!("  \"hw_validation\": {{");
+    println!(
+        "    \"scale\": {},",
+        json_str(if smoke { "quick" } else { "full" })
+    );
+    println!("    \"machine_cores\": {cores},");
+    println!("    \"perf\": {perf_status},");
+    println!("    \"runs\": [");
+    println!("{}", rows.join(",\n"));
+    println!("    ]");
+    println!("  }}");
+    println!("}}");
+
+    // Bound violations are a real failure; missing perf counters are not.
+    assert!(all_within, "an executed schedule violated its bound");
+}

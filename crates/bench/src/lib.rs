@@ -17,6 +17,8 @@
 use wsf_core::{ExecutionReport, ForkPolicy, ParallelSimulator, Scheduler, SeqReport, SimConfig};
 use wsf_dag::Dag;
 
+pub mod perf;
+
 /// Standard benchmark sizes, kept deliberately moderate so a full
 /// `cargo bench --workspace` finishes in minutes on one core.
 pub mod sizes {

@@ -47,6 +47,7 @@ mod adaptive;
 mod fifo;
 mod indexed;
 mod lru;
+pub mod replay;
 mod set_assoc;
 mod sim;
 pub mod stack_distance;
@@ -54,6 +55,7 @@ mod stats;
 
 pub use fifo::FifoCache;
 pub use lru::LruCache;
+pub use replay::{replay, replay_curves, ReplayOp, ReplaySummary};
 pub use set_assoc::SetAssociativeCache;
 pub use sim::{CachePolicy, CacheSim, StackDistanceSim};
 pub use stack_distance::{MissRatioCurve, StackDistance};

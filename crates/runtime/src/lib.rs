@@ -43,6 +43,7 @@ mod future;
 mod policy;
 mod pool;
 mod stats;
+mod trace;
 
 pub use epoch::{
     sequential_reference, Checkpoint, CheckpointStore, EngineError, EngineReport, EpochConfig,
@@ -52,7 +53,8 @@ pub use faultd::{FaultAction, FaultHooks, FaultPlan, FaultSpec};
 pub use future::{Future, TaskError, TouchOutcome};
 pub use policy::SpawnPolicy;
 pub use pool::{HungWorker, Runtime, RuntimeBuilder, ShutdownError};
-pub use stats::RuntimeStats;
+pub use stats::{RuntimeStats, WorkerStats};
+pub use trace::{TaskOrigin, TouchEvent, TouchTrace};
 
 #[cfg(test)]
 mod tests {

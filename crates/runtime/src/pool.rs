@@ -3,7 +3,9 @@
 use crate::faultd::{FaultAction, FaultHooks};
 use crate::future::{Future, FutureState, TaskError};
 use crate::policy::SpawnPolicy;
-use crate::stats::{AtomicStats, RuntimeStats};
+use crate::stats::{AtomicStats, RuntimeStats, WorkerCounters, WorkerStats};
+use crate::trace::{TaskOrigin, TouchEvent, TouchTrace};
+use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +86,13 @@ pub(crate) struct Inner {
     /// Per-worker location tags for the shutdown watchdog (`SITE_*`).
     worker_sites: Vec<AtomicU8>,
     pub(crate) stats: AtomicStats,
+    /// Block-touch recorder; `None` (the default) costs one never-taken
+    /// branch per dispatch site, mirroring `hooks`.
+    trace: Option<Arc<TouchTrace>>,
+    /// Per-worker steal/execute counters, one cache-padded slot per worker
+    /// so each writer owns its line (the per-thread analogue of the
+    /// injector's striped epoch counters).
+    worker_stats: Vec<CachePadded<WorkerCounters>>,
 }
 
 struct WorkerLocal {
@@ -173,9 +182,11 @@ impl Inner {
     /// global injector, then stealing from a random victim.
     fn find_task(self: &Arc<Self>, local: &WorkerLocal) -> Option<Task> {
         if let Some(t) = local.worker.pop() {
+            self.record_origin(local.index, TaskOrigin::Local);
             return Some(t);
         }
         if let Some(t) = self.pop_injector() {
+            self.record_origin(local.index, TaskOrigin::Inject);
             return Some(t);
         }
         let n = self.stealers.len();
@@ -193,6 +204,15 @@ impl Inner {
                 match self.stealers[victim].steal() {
                     Steal::Success(t) => {
                         self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                        self.worker_stats[local.index]
+                            .steals
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.record_origin(
+                            local.index,
+                            TaskOrigin::Steal {
+                                victim: victim as u32,
+                            },
+                        );
                         return Some(t);
                     }
                     Steal::Retry => {
@@ -209,8 +229,18 @@ impl Inner {
         None
     }
 
-    fn run_task(self: &Arc<Self>, task: Task) {
+    /// Records a task-provenance event into `lane` when tracing is on.
+    fn record_origin(&self, lane: usize, origin: TaskOrigin) {
+        if let Some(trace) = &self.trace {
+            trace.record(lane, TouchEvent::Task { origin });
+        }
+    }
+
+    fn run_task(self: &Arc<Self>, index: usize, task: Task) {
         self.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        self.worker_stats[index]
+            .executed
+            .fetch_add(1, Ordering::Relaxed);
         // Backstop only: every queued task is a `make_task` wrapper that
         // contains its own panics, so this catch should never observe one.
         // It exists so a future wrapper bug still cannot unwind through
@@ -240,11 +270,14 @@ impl Inner {
                 if let Some(outcome) = state.try_take() {
                     return outcome;
                 }
-                let task = with_worker(inner, |local| inner.find_task(local)).flatten();
+                let task = with_worker(inner, |local| {
+                    inner.find_task(local).map(|t| (t, local.index))
+                })
+                .flatten();
                 match task {
-                    Some(t) => {
+                    Some((t, index)) => {
                         inner.stats.helped_tasks.fetch_add(1, Ordering::Relaxed);
-                        inner.run_task(t);
+                        inner.run_task(index, t);
                     }
                     None => {
                         if let Some(outcome) = state.try_take() {
@@ -278,11 +311,14 @@ impl Inner {
                 if Instant::now() >= deadline {
                     break None;
                 }
-                let task = with_worker(inner, |local| inner.find_task(local)).flatten();
+                let task = with_worker(inner, |local| {
+                    inner.find_task(local).map(|t| (t, local.index))
+                })
+                .flatten();
                 match task {
-                    Some(t) => {
+                    Some((t, index)) => {
                         inner.stats.helped_tasks.fetch_add(1, Ordering::Relaxed);
-                        inner.run_task(t);
+                        inner.run_task(index, t);
                     }
                     None => std::thread::yield_now(),
                 }
@@ -322,19 +358,19 @@ impl Inner {
                     };
                     self.set_site(index, SITE_EXECUTING);
                     match action {
-                        FaultAction::None => self.run_task(t),
+                        FaultAction::None => self.run_task(index, t),
                         FaultAction::StallTask(delay) => {
                             std::thread::sleep(delay);
-                            self.run_task(t);
+                            self.run_task(index, t);
                         }
                         FaultAction::PanicTask => {
                             INJECTED.set(InjectedFault::Panic);
-                            self.run_task(t);
+                            self.run_task(index, t);
                             INJECTED.set(InjectedFault::None);
                         }
                         FaultAction::KillWorker => {
                             INJECTED.set(InjectedFault::Kill);
-                            self.run_task(t);
+                            self.run_task(index, t);
                             INJECTED.set(InjectedFault::None);
                             killed = true;
                         }
@@ -389,6 +425,7 @@ pub struct RuntimeBuilder {
     policy: SpawnPolicy,
     inline_depth_limit: usize,
     hooks: Option<Arc<dyn FaultHooks>>,
+    trace_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -398,6 +435,7 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("policy", &self.policy)
             .field("inline_depth_limit", &self.inline_depth_limit)
             .field("fault_hooks", &self.hooks.is_some())
+            .field("trace_capacity", &self.trace_capacity)
             .finish()
     }
 }
@@ -411,6 +449,7 @@ impl Default for RuntimeBuilder {
             policy: SpawnPolicy::ChildFirst,
             inline_depth_limit: 128,
             hooks: None,
+            trace_capacity: None,
         }
     }
 }
@@ -440,6 +479,16 @@ impl RuntimeBuilder {
     /// site and the task sequence counter is never advanced.
     pub fn fault_hooks(mut self, hooks: Arc<dyn FaultHooks>) -> Self {
         self.hooks = Some(hooks);
+        self
+    }
+
+    /// Enables block-touch tracing (see [`TouchTrace`]), reserving
+    /// `capacity` events per lane up front. The recorder is constructed by
+    /// [`RuntimeBuilder::build`] with one lane per worker plus an external
+    /// lane, and is reachable through [`Runtime::touch_trace`]. Without
+    /// this call tracing costs one never-taken branch per dispatch site.
+    pub fn touch_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 
@@ -477,6 +526,12 @@ impl RuntimeBuilder {
                 .map(|_| AtomicU8::new(SITE_LAUNCHING))
                 .collect(),
             stats: AtomicStats::default(),
+            trace: self
+                .trace_capacity
+                .map(|capacity| TouchTrace::new(self.threads, capacity)),
+            worker_stats: (0..self.threads)
+                .map(|_| CachePadded::new(WorkerCounters::default()))
+                .collect(),
         });
         let handles = workers
             .into_iter()
@@ -576,6 +631,45 @@ impl Runtime {
         self.inner.stats.snapshot()
     }
 
+    /// Per-worker steal/execute snapshots, indexed by worker. Each worker's
+    /// counters sum to the global [`RuntimeStats`] figures once the pool is
+    /// quiescent (asserted by `pool_smoke`).
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.inner
+            .worker_stats
+            .iter()
+            .enumerate()
+            .map(|(index, c)| WorkerStats {
+                index,
+                steals: c.steals.load(Ordering::Relaxed),
+                tasks_executed: c.executed.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// The touch-trace recorder, when the runtime was built with
+    /// [`RuntimeBuilder::touch_trace`].
+    pub fn touch_trace(&self) -> Option<Arc<TouchTrace>> {
+        self.inner.trace.as_ref().map(Arc::clone)
+    }
+
+    /// Index of the calling worker thread, if the caller is one of this
+    /// pool's workers.
+    pub fn current_worker(&self) -> Option<usize> {
+        with_worker(&self.inner, |local| local.index)
+    }
+
+    /// Records the execution of DAG node `node` touching `block` into the
+    /// calling thread's trace lane (the external lane when the caller is
+    /// not one of this pool's workers). No-op when tracing is disabled.
+    pub fn trace_node(&self, node: u32, block: Option<u32>) {
+        if let Some(trace) = &self.inner.trace {
+            let lane = with_worker(&self.inner, |local| local.index)
+                .unwrap_or_else(|| trace.external_lane());
+            trace.record(lane, TouchEvent::Node { node, block });
+        }
+    }
+
     /// Spawns `f` as a future and returns its single-touch handle.
     ///
     /// Under the child-first policy, a future created on a worker thread is
@@ -611,6 +705,11 @@ impl Runtime {
             // contained here exactly as on the queued path, so inline and
             // deferred futures fail identically (at the touch point).
             self.inner.stats.inline_runs.fetch_add(1, Ordering::Relaxed);
+            if self.inner.trace.is_some() {
+                if let Some(lane) = with_worker(&self.inner, |local| local.index) {
+                    self.inner.record_origin(lane, TaskOrigin::Inline);
+                }
+            }
             match catch_unwind(AssertUnwindSafe(f)) {
                 Ok(v) => state.complete(v),
                 Err(payload) => {
@@ -729,8 +828,16 @@ impl Drop for Runtime {
         self.inner.shutdown.store(true, Ordering::Release);
         // Shutdown must reach *every* parked worker, not just one.
         self.inner.idle_cond.notify_all();
+        // The last `Arc<Runtime>` can be dropped *by a worker* when a task
+        // closure owns a clone (e.g. a straggler DAG chain finishing after
+        // the submitting thread released its handle). Joining would then
+        // self-deadlock, so detach instead: the workers observe `shutdown`
+        // and exit on their own.
+        let on_worker = with_worker(&self.inner, |_| ()).is_some();
         for handle in self.handles.drain(..) {
-            let _ = handle.join();
+            if !on_worker {
+                let _ = handle.join();
+            }
         }
     }
 }

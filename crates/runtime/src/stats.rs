@@ -34,6 +34,28 @@ impl AtomicStats {
     }
 }
 
+/// Per-worker atomic counters. Each worker owns one slot (cache-padded in
+/// the pool) so the hot-path increments never contend or false-share.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerCounters {
+    pub steals: AtomicU64,
+    pub executed: AtomicU64,
+}
+
+/// A point-in-time snapshot of one worker's counters (see
+/// [`crate::Runtime::worker_stats`]). Once the pool is quiescent, the
+/// per-worker figures sum to the corresponding [`RuntimeStats`] totals.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The worker's index in the pool.
+    pub index: usize,
+    /// Successful steals performed *by* this worker.
+    pub steals: u64,
+    /// Deque/injector tasks executed by this worker (including tasks run
+    /// while helping inside a touch).
+    pub tasks_executed: u64,
+}
+
 /// A point-in-time snapshot of the runtime's counters.
 ///
 /// These are the observable analogues of the quantities the simulator

@@ -406,3 +406,40 @@ fn stats_snapshots_are_monotonic() {
     assert!(delta.futures_created > 0);
     assert_stats_consistent(&delta, "delta snapshot");
 }
+
+#[test]
+fn per_worker_counters_sum_to_the_global_stats() {
+    // The cache-padded per-worker steal/execute counters are incremented
+    // alongside the global ones (both before a task's body runs), so once
+    // every spawned future has been touched the pool is quiescent and the
+    // per-worker figures must sum exactly to the `RuntimeStats` totals.
+    for policy in SpawnPolicy::ALL {
+        let rt = Arc::new(Runtime::builder().threads(4).policy(policy).build());
+        let n = 18u64;
+        assert_eq!(fib(&rt, n), fib_reference(n));
+
+        let stats = rt.stats();
+        let workers = rt.worker_stats();
+        assert_eq!(workers.len(), 4, "{policy}: one snapshot per worker");
+        for (i, w) in workers.iter().enumerate() {
+            assert_eq!(w.index, i, "{policy}: snapshots are worker-indexed");
+            assert!(
+                w.steals <= w.tasks_executed,
+                "{policy}: worker {i} stole {} tasks but executed only {}",
+                w.steals,
+                w.tasks_executed
+            );
+        }
+        let steals: u64 = workers.iter().map(|w| w.steals).sum();
+        let executed: u64 = workers.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(
+            steals, stats.steals,
+            "{policy}: per-worker steals must sum to the global counter"
+        );
+        assert_eq!(
+            executed, stats.tasks_executed,
+            "{policy}: per-worker executions must sum to the global counter"
+        );
+        assert_stats_consistent(&stats, &format!("per-worker sums / {policy}"));
+    }
+}

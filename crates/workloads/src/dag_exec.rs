@@ -1,0 +1,337 @@
+//! Executes a simulator [`Dag`] on the real work-stealing pool.
+//!
+//! The hardware-validation loop (E21) needs the *same* computation DAGs the
+//! simulator schedules to run on `wsf_runtime`'s thread pool, emitting a
+//! block-touch trace that can be replayed through the cache simulator and
+//! checked against the paper's bounds. This module is the bridge: a chain
+//! interpreter that walks a structured single-touch DAG with exactly the
+//! parsimonious scheduling rule of the executors in `wsf-core`.
+//!
+//! ## How a DAG becomes pool tasks
+//!
+//! Each pool task runs a **chain** of nodes: starting from one enabled
+//! node, it repeatedly executes the node (recording the touch), enables its
+//! children ([`schedule_enabled`] decides, exactly as the sequential and
+//! parallel simulators do), follows the `next` child, and spawns the `push`
+//! child as a *new* chain task via [`Runtime::defer_future`]. Deferred
+//! chains land on the bottom of the running worker's deque, where the owner
+//! pops them LIFO and other workers steal them FIFO — the same discipline
+//! `SimDeque` gives the simulators.
+//!
+//! At `P = 1` this makes the node order **byte-identical** to
+//! [`SequentialExecutor`](wsf_core::SequentialExecutor): a single worker's
+//! own-deque pop is exactly the simulator's `pop_bottom`, chains are the
+//! simulator's `next` walks, and children are enabled in the same out-edge
+//! order — the property the `trace_conformance` suite pins down.
+//!
+//! ## Exactly-once and fault rescue
+//!
+//! Node in-degrees are atomic counters; the decrement that reaches zero
+//! *enables* the child, and a `claimed` flag swapped before execution makes
+//! the node run exactly once even if it is ever spawned twice. When the
+//! fault injector kills a worker, the chain task it was about to run fails
+//! without executing (its nodes stay enabled but unclaimed); the caller's
+//! wait loop detects the stalled execution and respawns chains for every
+//! enabled-but-unclaimed node — or, once every worker is dead, executes
+//! them directly on the calling thread (recorded on the trace's external
+//! lane). Completion is signalled by the final node, which every node
+//! precedes, so the DAG is fully executed when it runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use wsf_core::{schedule_enabled, ForkPolicy};
+use wsf_dag::{Dag, NodeId};
+use wsf_runtime::Runtime;
+
+/// What a pool execution of a DAG did, beyond the runtime's own counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DagRunReport {
+    /// Nodes executed (always `dag.num_nodes()` on success).
+    pub nodes_executed: usize,
+    /// Chains respawned by the rescue sweep after a stalled execution
+    /// (worker kills, or chain tasks lost to injected failures).
+    pub rescued: usize,
+    /// Rescue sweeps that found at least one node to respawn.
+    pub rescue_rounds: usize,
+    /// Nodes executed directly on the calling thread because every worker
+    /// had been killed; they appear on the trace's external lane.
+    pub direct_runs: usize,
+}
+
+struct Ctx {
+    rt: Arc<Runtime>,
+    dag: Arc<Dag>,
+    policy: ForkPolicy,
+    /// Outstanding dependencies per node; the decrementer that reaches
+    /// zero enables the child.
+    remaining: Vec<AtomicU32>,
+    /// Swapped to `true` immediately before a node executes; makes
+    /// execution exactly-once even when rescue respawns a chain that was
+    /// merely delayed rather than lost.
+    claimed: Vec<AtomicBool>,
+    executed: AtomicUsize,
+    done: Mutex<bool>,
+    done_cond: Condvar,
+}
+
+impl Ctx {
+    /// Executes the chain starting at `start`: run the node, enable its
+    /// children, follow `next`, defer `push` as a new chain. In `direct`
+    /// mode (every worker dead) pushes go onto a local LIFO stack instead
+    /// of the pool — the sequential executor's discipline on the caller
+    /// thread. Returns the number of nodes this call executed.
+    fn run_chain(self: &Arc<Self>, start: NodeId, direct: bool) -> usize {
+        let mut ran = 0;
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut current = Some(start);
+        while let Some(node) = current {
+            if self.claimed[node.index()].swap(true, Ordering::AcqRel) {
+                // Another chain (the original of a rescue duplicate, or
+                // vice versa) already owns this node; its `next` walk
+                // continues elsewhere.
+                current = if direct { stack.pop() } else { None };
+                continue;
+            }
+            self.rt
+                .trace_node(node.0, self.dag.block_of(node).map(|b| b.0));
+            ran += 1;
+
+            let mut enabled = [NodeId(0); 2];
+            let mut n_enabled = 0;
+            for e in self.dag.node(node).out_edges() {
+                if self.remaining[e.node.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    debug_assert!(n_enabled < 2, "structured DAGs enable at most 2 children");
+                    enabled[n_enabled] = e.node;
+                    n_enabled += 1;
+                }
+            }
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if node == self.dag.final_node() {
+                // Every node precedes the final node, so the DAG is done.
+                let mut done = self.done.lock().expect("done lock");
+                *done = true;
+                self.done_cond.notify_all();
+            }
+
+            let cont = schedule_enabled(&self.dag, node, &enabled[..n_enabled], self.policy);
+            if let Some(push) = cont.push {
+                if direct {
+                    stack.push(push);
+                } else {
+                    let ctx = Arc::clone(self);
+                    drop(self.rt.defer_future(move || {
+                        ctx.run_chain(push, false);
+                    }));
+                }
+            }
+            current = cont
+                .next
+                .or_else(|| if direct { stack.pop() } else { None });
+        }
+        ran
+    }
+
+    /// Respawns a chain for every enabled-but-unclaimed node. With live
+    /// workers the chains are deferred to the pool; with none they run
+    /// directly on the calling thread. Returns `(respawned, direct_runs)`.
+    fn rescue(self: &Arc<Self>) -> (usize, usize) {
+        let direct = self.rt.live_workers() == 0;
+        let mut respawned = 0;
+        let mut direct_runs = 0;
+        for index in 0..self.dag.num_nodes() {
+            if self.remaining[index].load(Ordering::Acquire) == 0
+                && !self.claimed[index].load(Ordering::Acquire)
+            {
+                let node = NodeId::from_index(index);
+                respawned += 1;
+                if direct {
+                    direct_runs += self.run_chain(node, true);
+                } else {
+                    let ctx = Arc::clone(self);
+                    drop(self.rt.defer_future(move || {
+                        ctx.run_chain(node, false);
+                    }));
+                }
+            }
+        }
+        (respawned, direct_runs)
+    }
+}
+
+/// Runs `dag` to completion on the pool `rt` under the parsimonious
+/// work-stealing discipline, with `policy` deciding which fork child a
+/// worker executes first.
+///
+/// The root chain is submitted through the injector (the caller is not a
+/// worker); everything after that flows through the workers' own deques
+/// and steals. When the runtime was built with
+/// [`touch_trace`](wsf_runtime::RuntimeBuilder::touch_trace), every node
+/// execution lands in the lane of the worker that ran it.
+///
+/// Survives fault injection (worker kills, injected panics, stalls): lost
+/// chains are respawned, and if the injector kills *every* worker the
+/// remaining nodes execute on the calling thread. Panics if the DAG has
+/// not completed within 60 seconds.
+pub fn run_dag_on_pool(rt: &Arc<Runtime>, dag: &Arc<Dag>, policy: ForkPolicy) -> DagRunReport {
+    let ctx = Arc::new(Ctx {
+        rt: Arc::clone(rt),
+        dag: Arc::clone(dag),
+        policy,
+        remaining: dag.in_degrees().into_iter().map(AtomicU32::new).collect(),
+        claimed: (0..dag.num_nodes())
+            .map(|_| AtomicBool::new(false))
+            .collect(),
+        executed: AtomicUsize::new(0),
+        done: Mutex::new(false),
+        done_cond: Condvar::new(),
+    });
+    let mut report = DagRunReport::default();
+
+    let root = dag.root();
+    let ctx2 = Arc::clone(&ctx);
+    drop(rt.defer_future(move || {
+        ctx2.run_chain(root, false);
+    }));
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last_executed = 0usize;
+    loop {
+        let guard = ctx.done.lock().expect("done lock");
+        let (guard, _) = ctx
+            .done_cond
+            .wait_timeout_while(guard, Duration::from_millis(100), |done| !*done)
+            .expect("done lock");
+        if *guard {
+            break;
+        }
+        drop(guard);
+        let now = ctx.executed.load(Ordering::Relaxed);
+        if now == last_executed {
+            // No progress over a full wait window: chains were lost to
+            // worker kills (or are stalled). Respawn everything enabled.
+            let (respawned, direct_runs) = ctx.rescue();
+            if respawned > 0 {
+                report.rescued += respawned;
+                report.rescue_rounds += 1;
+                report.direct_runs += direct_runs;
+            }
+        }
+        last_executed = ctx.executed.load(Ordering::Relaxed);
+        assert!(
+            Instant::now() < deadline,
+            "DAG execution stalled: {last_executed}/{} nodes after 60s",
+            dag.num_nodes()
+        );
+    }
+
+    report.nodes_executed = ctx.executed.load(Ordering::Relaxed);
+    debug_assert_eq!(report.nodes_executed, dag.num_nodes());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{backpressure, sort, stencil};
+    use wsf_core::SequentialExecutor;
+    use wsf_runtime::{Runtime, SpawnPolicy, TouchEvent};
+
+    fn traced_runtime(threads: usize) -> Arc<Runtime> {
+        Arc::new(
+            Runtime::builder()
+                .threads(threads)
+                .policy(SpawnPolicy::ChildFirst)
+                .touch_trace(1 << 16)
+                .build(),
+        )
+    }
+
+    fn full_node_trace(rt: &Runtime) -> Vec<(u32, Option<u32>)> {
+        let trace = rt.touch_trace().expect("tracing enabled");
+        assert_eq!(trace.dropped(), 0, "trace capacity exhausted");
+        (0..trace.lanes())
+            .flat_map(|lane| trace.node_trace(lane))
+            .collect()
+    }
+
+    #[test]
+    fn single_worker_matches_sequential_order() {
+        for policy in [ForkPolicy::FutureFirst, ForkPolicy::ParentFirst] {
+            let dag = Arc::new(sort::mergesort(64, 8));
+            let rt = traced_runtime(1);
+            let report = run_dag_on_pool(&rt, &dag, policy);
+            assert_eq!(report.nodes_executed, dag.num_nodes());
+            assert_eq!(report.rescued, 0);
+
+            let seq = SequentialExecutor::new(policy).run(&dag);
+            let runtime_order: Vec<u32> = rt
+                .touch_trace()
+                .unwrap()
+                .node_trace(0)
+                .iter()
+                .map(|(n, _)| *n)
+                .collect();
+            let seq_order: Vec<u32> = seq.order.iter().map(|n| n.0).collect();
+            assert_eq!(runtime_order, seq_order, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn every_node_executes_exactly_once_at_p4() {
+        let dags = [
+            Arc::new(sort::mergesort(128, 16)),
+            Arc::new(stencil::stencil(4, 3, 3)),
+            Arc::new(stencil::stencil_exchange(3, 2, 2)),
+            Arc::new(backpressure::batched_pipeline(3, 12, 4, 1)),
+        ];
+        for dag in dags {
+            let rt = traced_runtime(4);
+            let report = run_dag_on_pool(&rt, &dag, ForkPolicy::FutureFirst);
+            assert_eq!(report.nodes_executed, dag.num_nodes());
+
+            let mut nodes: Vec<u32> = full_node_trace(&rt).iter().map(|(n, _)| *n).collect();
+            nodes.sort_unstable();
+            let expected: Vec<u32> = (0..dag.num_nodes() as u32).collect();
+            assert_eq!(nodes, expected, "each node traced exactly once");
+        }
+    }
+
+    #[test]
+    fn traced_blocks_match_the_dag() {
+        let dag = Arc::new(stencil::stencil(3, 2, 2));
+        let rt = traced_runtime(2);
+        run_dag_on_pool(&rt, &dag, ForkPolicy::FutureFirst);
+        for (node, block) in full_node_trace(&rt) {
+            let expected = dag.block_of(NodeId(node)).map(|b| b.0);
+            assert_eq!(block, expected, "node {node}");
+        }
+    }
+
+    #[test]
+    fn task_provenance_events_are_recorded() {
+        let dag = Arc::new(sort::mergesort(256, 16));
+        let rt = traced_runtime(4);
+        run_dag_on_pool(&rt, &dag, ForkPolicy::FutureFirst);
+        let trace = rt.touch_trace().unwrap();
+        let task_events: usize = (0..trace.lanes())
+            .map(|lane| {
+                trace
+                    .events(lane)
+                    .iter()
+                    .filter(|e| matches!(e, TouchEvent::Task { .. }))
+                    .count()
+            })
+            .sum();
+        assert!(task_events > 0, "chains must carry provenance");
+    }
+
+    #[test]
+    fn works_without_tracing() {
+        let dag = Arc::new(sort::mergesort(64, 8));
+        let rt = Arc::new(Runtime::new(2));
+        let report = run_dag_on_pool(&rt, &dag, ForkPolicy::FutureFirst);
+        assert_eq!(report.nodes_executed, dag.num_nodes());
+        assert!(rt.touch_trace().is_none());
+    }
+}

@@ -23,6 +23,9 @@
 //!   stage chains for the fault-tolerant epoch engine
 //!   (`wsf_runtime::StreamEngine`), feeding the crash-recovery experiment
 //!   (E18);
+//! * [`dag_exec`] — a chain interpreter that executes any structured DAG
+//!   on the real pool under the parsimonious discipline, emitting the
+//!   block-touch traces of the hardware-validation loop (E21);
 //! * [`presets`] — named size presets scaling every suite family up to
 //!   ~10^6 distinct blocks;
 //! * [`submission`] — wire-encodable, allocation-free rebuildable shape
@@ -38,6 +41,7 @@
 pub mod apps;
 pub mod backpressure;
 pub mod block_alloc;
+pub mod dag_exec;
 pub mod figures;
 pub mod pipeline;
 pub mod presets;
